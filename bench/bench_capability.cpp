@@ -1,0 +1,49 @@
+// Regenerates paper Tables II and III from the in-code capability
+// registries of the two kernels.
+//
+// Table II: ease of USING each capability on CNK vs Linux.
+// Table III: for capabilities listed "not avail", the ease of
+// IMPLEMENTING them in that OS.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "cnk/capability.hpp"
+#include "fwk/capability.hpp"
+
+int main() {
+  using namespace bg;
+  const auto cnk = cnk::cnkCapabilities();
+  const auto lnx = fwk::linuxCapabilities();
+
+  std::map<std::string, const kernel::Capability*> cnkBy, lnxBy;
+  for (const auto& c : cnk) cnkBy[c.feature] = &c;
+  for (const auto& c : lnx) lnxBy[c.feature] = &c;
+
+  std::printf("Table II: ease of USING capabilities in CNK and Linux\n");
+  std::printf("%-36s %-18s %-18s\n", "Description", "CNK", "Linux");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (const auto& feature : kernel::capabilityFeatures()) {
+    const auto* c = cnkBy.at(feature);
+    const auto* l = lnxBy.at(feature);
+    std::printf("%-36s %-18s %-18s\n", feature.c_str(),
+                kernel::easeLabel(c->use), kernel::easeLabel(l->use));
+  }
+
+  std::printf("\nTable III: ease of IMPLEMENTING the capabilities not "
+              "available in that OS\n");
+  std::printf("%-36s %-18s %-18s\n", "Description", "CNK", "Linux");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (const auto& feature : kernel::capabilityFeatures()) {
+    const auto* c = cnkBy.at(feature);
+    const auto* l = lnxBy.at(feature);
+    const bool cnkMissing = c->use == kernel::Ease::kNotAvail;
+    const bool lnxMissing = l->use == kernel::Ease::kNotAvail ||
+                            l->use == kernel::Ease::kEasyToHard;
+    if (!cnkMissing && !lnxMissing) continue;
+    std::printf("%-36s %-18s %-18s\n", feature.c_str(),
+                cnkMissing ? kernel::easeLabel(c->implement) : "avail",
+                lnxMissing ? kernel::easeLabel(l->implement) : "avail");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// SIMPERF (meta-benchmark): host-side performance of the simulator
+// itself — event throughput, RNG, hashing, cache-model accesses.
+// This is the one bench measuring wall-clock time; every other bench
+// reports *simulated* cycles.
+#include <benchmark/benchmark.h>
+
+#include "hw/cache.hpp"
+#include "sim/engine.hpp"
+#include "sim/hash.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+void BM_EventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    bg::sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      e.schedule(static_cast<bg::sim::Cycle>(i), [] {});
+    }
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_Rng(benchmark::State& state) {
+  bg::sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Rng);
+
+void BM_HashBytes(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bg::sim::hashBytes(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashBytes)->Arg(4096)->Arg(65536);
+
+void BM_CacheAccess(benchmark::State& state) {
+  bg::hw::CacheArray l1(32 << 10, 32, 8);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l1.access(addr));
+    addr += 32;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

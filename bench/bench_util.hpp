@@ -1,0 +1,48 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bg::bench {
+
+struct Stats {
+  std::uint64_t n = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0;
+  double stddev = 0;
+};
+
+inline Stats computeStats(const std::vector<std::uint64_t>& v) {
+  Stats s;
+  if (v.empty()) return s;
+  s.n = v.size();
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  s.mean = std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  double var = 0;
+  for (std::uint64_t x : v) {
+    const double d = static_cast<double>(x) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(v.size()));
+  return s;
+}
+
+inline double pct(std::uint64_t delta, std::uint64_t base) {
+  return 100.0 * static_cast<double>(delta) / static_cast<double>(base);
+}
+
+inline void printRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+}  // namespace bg::bench

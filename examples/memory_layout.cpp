@@ -1,0 +1,78 @@
+// Prints the CNK static memory layout (paper Fig 3) for the three node
+// modes — SMP (1 process), DUAL (2), VN (4) — including the page sizes
+// the partitioner picked, the TLB entry counts, and the physical
+// memory wasted to large-page tiling (the §VII-B trade-off).
+#include <cstdio>
+
+#include "cnk/partitioner.hpp"
+
+using namespace bg;
+
+namespace {
+
+const char* pageName(std::uint64_t p) {
+  switch (p) {
+    case hw::kPage1M: return "1MB";
+    case hw::kPage16M: return "16MB";
+    case hw::kPage256M: return "256MB";
+    case hw::kPage1G: return "1GB";
+  }
+  return "?";
+}
+
+void printRegion(const kernel::MemRegionDesc& r) {
+  if (r.size == 0) return;
+  std::printf("    %-10s v[0x%08llx..0x%08llx)  p[0x%08llx..0x%08llx)  "
+              "%4d x %-6s perms=%s%s%s\n",
+              r.name.c_str(), static_cast<unsigned long long>(r.vbase),
+              static_cast<unsigned long long>(r.vbase + r.size),
+              static_cast<unsigned long long>(r.pbase),
+              static_cast<unsigned long long>(r.pbase + r.size),
+              cnk::tileCount(r.size, r.pageSize), pageName(r.pageSize),
+              (r.perms & hw::kPermR) ? "r" : "-",
+              (r.perms & hw::kPermW) ? "w" : "-",
+              (r.perms & hw::kPermX) ? "x" : "-");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CNK static memory layout (paper Fig 3)\n");
+  std::printf("node: 512MB DDR, 16MB kernel-reserved, 32MB persistent "
+              "pool, app exe: 1MB text, 1MB data, 8MB shared\n");
+
+  for (const int procs : {1, 2, 4}) {
+    cnk::PartitionRequest req;
+    req.physBase = 16ULL << 20;
+    req.physSize = (512ULL - 16 - 32) << 20;
+    req.processes = procs;
+    req.textBytes = 1 << 20;
+    req.dataBytes = 1 << 20;
+    req.sharedBytes = 8 << 20;
+    const auto res = cnk::partitionMemory(req);
+    if (!res.ok) {
+      std::printf("partition failed: %s\n", res.error.c_str());
+      return 1;
+    }
+    const char* mode = procs == 1 ? "SMP" : procs == 2 ? "DUAL" : "VN";
+    std::printf("\n%s mode (%d process%s per node):\n", mode, procs,
+                procs == 1 ? "" : "es");
+    for (int p = 0; p < procs; ++p) {
+      std::printf("  process %d:\n", p);
+      const auto& lay = res.procs[static_cast<std::size_t>(p)];
+      printRegion(lay.text);
+      printRegion(lay.data);
+      printRegion(lay.heapStack);
+      printRegion(lay.shared);
+    }
+    std::printf("  TLB entries/process: %d of 64   wasted to tiling: "
+                "%.1f MB of %.0f MB\n",
+                res.tlbEntriesPerProcess,
+                static_cast<double>(res.wastedBytes) / (1 << 20),
+                static_cast<double>(req.physSize) / (1 << 20));
+  }
+  std::printf("\nThe map is static for the life of the process: no TLB "
+              "misses, no page faults,\nand user space can compute "
+              "virtual-to-physical itself (user-space DMA).\n");
+  return 0;
+}

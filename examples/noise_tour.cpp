@@ -1,0 +1,84 @@
+// Noise tour: the paper's §V-A story in one run — the same FWQ
+// workload on CNK and on the Linux-like FWK, plus the FWK with each
+// noise source disabled, showing where Linux's jitter comes from
+// mechanistically (ticks, daemons, demand paging).
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "apps/fwq.hpp"
+#include "runtime/app.hpp"
+
+using namespace bg;
+
+namespace {
+
+struct NoiseRow {
+  const char* label;
+  std::uint64_t maxDelta = 0;
+  double spreadPct = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t pageFaults = 0;
+};
+
+NoiseRow measure(const char* label, rt::KernelKind kind, bool tick,
+                 bool daemons, bool paging) {
+  NoiseRow row;
+  row.label = label;
+  rt::ClusterConfig cfg;
+  cfg.kernel = kind;
+  cfg.fwk.enableTick = tick;
+  cfg.fwk.enableDaemons = daemons;
+  cfg.fwk.demandPaging = paging;
+  rt::Cluster cluster(cfg);
+  if (!cluster.bootAll(100'000'000)) return row;
+  apps::FwqParams fp;
+  fp.samples = 800;
+  kernel::JobSpec job;
+  job.exe = apps::fwqImage(fp);
+  std::vector<std::uint64_t> s;
+  cluster.attachSamples(0, 0, &s);  // core 0, the noisiest
+  if (!cluster.loadJob(job) || !cluster.run(4'000'000'000ULL) || s.empty()) {
+    return row;
+  }
+  const auto [mn, mx] = std::minmax_element(s.begin(), s.end());
+  row.maxDelta = *mx - *mn;
+  row.spreadPct = 100.0 * static_cast<double>(*mx - *mn) /
+                  static_cast<double>(*mn);
+  if (auto* fwk = cluster.fwkOn(0)) {
+    row.preemptions = fwk->preemptions();
+    row.pageFaults = fwk->pageFaults();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Where does OS noise come from? FWQ on core 0, 800 "
+              "samples of ~659K cycles each.\n\n");
+  std::printf("%-34s %12s %9s %11s %10s\n", "configuration", "max-min",
+              "spread%", "preemptions", "pagefaults");
+
+  const NoiseRow rows[] = {
+      measure("Linux (tick+daemons+paging)", rt::KernelKind::kFwk, true,
+              true, true),
+      measure("Linux, no daemons", rt::KernelKind::kFwk, true, false, true),
+      measure("Linux, no tick", rt::KernelKind::kFwk, false, true, true),
+      measure("Linux, prefaulted", rt::KernelKind::kFwk, true, true, false),
+      measure("Linux, all sources off", rt::KernelKind::kFwk, false, false,
+              false),
+      measure("CNK", rt::KernelKind::kCnk, true, true, true),
+  };
+  for (const NoiseRow& r : rows) {
+    std::printf("%-34s %12llu %8.4f%% %11llu %10llu\n", r.label,
+                static_cast<unsigned long long>(r.maxDelta), r.spreadPct,
+                static_cast<unsigned long long>(r.preemptions),
+                static_cast<unsigned long long>(r.pageFaults));
+  }
+  std::printf("\nCNK does not ablate noise away — it never creates it: "
+              "no tick to disable,\nno daemons to suspend, no faults to "
+              "prefault (paper SectionV-A).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Persistent-memory pipeline (paper §IV-D): two consecutive jobs share
+// a named in-memory region instead of round-tripping through the
+// filesystem — the producer leaves a pointer-linked structure in
+// persistent memory, the consumer (a separate job, new process) maps
+// it by name at the SAME virtual address and walks the pointers.
+#include <cstdio>
+
+#include "kernel/syscalls.hpp"
+#include "runtime/app.hpp"
+#include "vm/builder.hpp"
+
+using namespace bg;
+
+namespace {
+
+std::int64_t sys(kernel::Sys s) { return static_cast<std::int64_t>(s); }
+
+/// Store the region name "mesh" at heapBase; leave heapBase in r21.
+void emitName(vm::ProgramBuilder& b) {
+  b.li(16, 0x6873656D);  // "mesh"
+  b.mov(21, 10);
+  b.store(21, 16, 0);
+}
+
+vm::Program producer(int items) {
+  vm::ProgramBuilder b("producer");
+  emitName(b);
+  b.mov(1, 21);
+  b.li(2, 1 << 20);
+  b.syscall(sys(kernel::Sys::kPersistOpen));
+  b.sample(0);  // region base
+  b.mov(16, 0);
+  // Build a linked list of `items` nodes: node i at base + i*32,
+  // node.next = &node[i+1], node.value = (i+1)^2.
+  for (int i = 0; i < items; ++i) {
+    b.mov(17, 16);
+    b.addi(17, 17, (i + 1) * 32);        // next pointer (real vaddr)
+    if (i == items - 1) b.li(17, 0);     // terminator
+    b.store(16, 17, i * 32);
+    b.li(18, (i + 1) * (i + 1));
+    b.store(16, 18, i * 32 + 8);
+  }
+  b.li(1, 0);
+  b.syscall(sys(kernel::Sys::kExit));
+  return std::move(b).build();
+}
+
+vm::Program consumer() {
+  vm::ProgramBuilder b("consumer");
+  emitName(b);
+  b.mov(1, 21);
+  b.li(2, 1 << 20);
+  b.syscall(sys(kernel::Sys::kPersistOpen));
+  b.sample(0);   // must equal the producer's base
+  b.mov(16, 0);  // cursor = head
+  // Walk: sum values until next == 0.
+  b.li(20, 0);
+  const auto loop = b.label();
+  b.load(18, 16, 8);   // value
+  b.add(20, 20, 18);
+  b.load(16, 16, 0);   // follow next
+  b.bnez(16, loop);
+  b.sample(20);         // the sum
+  b.li(1, 0);
+  b.syscall(sys(kernel::Sys::kExit));
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kItems = 6;  // 1+4+9+16+25+36 = 91
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  if (!cluster.bootAll()) return 1;
+
+  std::printf("job 1 (producer): building a %d-node linked list in "
+              "persistent region \"mesh\"\n", kItems);
+  kernel::JobSpec j1;
+  j1.exe = kernel::ElfImage::makeExecutable("producer", producer(kItems));
+  std::vector<std::uint64_t> s1;
+  cluster.attachSamples(0, 0, &s1);
+  if (!cluster.loadJob(j1) || !cluster.run()) return 1;
+  std::printf("  region mapped at 0x%llx\n",
+              static_cast<unsigned long long>(s1.at(0)));
+
+  // Job boundary: CNK tears the process down; persistent regions (and
+  // their DRAM contents) survive.
+  cluster.cnkOn(0)->unloadJob();
+
+  std::printf("job 2 (consumer): reopening \"mesh\" and walking the "
+              "pointers\n");
+  kernel::JobSpec j2;
+  j2.exe = kernel::ElfImage::makeExecutable("consumer", consumer());
+  std::vector<std::uint64_t> s2;
+  cluster.attachSamples(0, 0, &s2);
+  if (!cluster.loadJob(j2) || !cluster.run()) return 1;
+
+  std::printf("  region mapped at 0x%llx (%s)\n",
+              static_cast<unsigned long long>(s2.at(0)),
+              s2.at(0) == s1.at(0) ? "same vaddr: pointers stay valid"
+                                   : "DIFFERENT vaddr!");
+  const std::uint64_t expect = 1 + 4 + 9 + 16 + 25 + 36;
+  std::printf("  sum over linked list: %llu (expected %llu) -> %s\n",
+              static_cast<unsigned long long>(s2.at(1)),
+              static_cast<unsigned long long>(expect),
+              s2.at(1) == expect ? "OK" : "MISMATCH");
+  return s2.at(1) == expect && s2.at(0) == s1.at(0) ? 0 : 1;
+}

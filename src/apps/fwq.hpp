@@ -1,0 +1,40 @@
+// FWQ (Fixed Work Quanta) noise benchmark (paper §V-A, Figs 5-7).
+//
+// Single-node, no communication: a fixed loop of work (a DAXPY on a
+// 256-element vector that fits in L1, repeated 256 times per sample)
+// timed 12,000 times on each of the node's four cores. Without noise
+// every sample takes the same number of cycles; the per-sample
+// timebase deltas land in host-visible sample sinks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kernel/elf.hpp"
+
+namespace bg::apps {
+
+struct FwqParams {
+  int samples = 12000;
+  int repsPerSample = 256;  // DAXPY repetitions per sample
+  /// Cycles of one 256-element DAXPY repetition. Calibrated so a clean
+  /// sample costs ~658.9K cycles (~0.775ms at 850MHz; the paper's
+  /// minimum was 658,958).
+  std::uint64_t cyclesPerRep = 2570;
+  std::uint32_t vecBytes = 6144;  // 3 x 256 doubles: x, y, and result
+  /// A light per-sample sweep over a region larger than L1, so each
+  /// sample generates a little shared-cache traffic. This is what
+  /// gives CNK its tiny-but-nonzero noise floor (cross-core bank
+  /// arbitration), matching the paper's <0.006% rather than an
+  /// implausible exact zero. Set to 0 to disable.
+  std::uint32_t streamBytes = 48 << 10;
+  std::uint32_t streamStride = 4096;  // one L1 set: ~12 L3 accesses/sample
+  int threads = 4;  // one per core
+};
+
+/// Executable image: main thread spawns (threads-1) workers, runs the
+/// FWQ loop itself, joins, exits. Sample sink indices are the thread
+/// creation order: 0 = main.
+std::shared_ptr<kernel::ElfImage> fwqImage(const FwqParams& p = {});
+
+}  // namespace bg::apps

@@ -1,0 +1,105 @@
+#include "apps/io_kernel.hpp"
+
+#include "kernel/syscalls.hpp"
+#include "vm/builder.hpp"
+
+namespace bg::apps {
+
+namespace {
+using vm::Reg;
+constexpr Reg rFd = 16;
+constexpr Reg rChunk = 17;
+constexpr Reg rT0 = 18;
+constexpr Reg rT1 = 19;
+constexpr Reg rTmp = 20;
+constexpr Reg rPath = 21;
+
+/// Store "ckpt.<rank>" at heapBase+256: build the digits from the rank
+/// register so every rank writes a distinct file.
+void emitPathBuild(vm::ProgramBuilder& b) {
+  b.mov(rPath, 10);
+  b.addi(rPath, rPath, 256);
+  // "/tmp/ckpt." is 10 chars; append rank as a single byte digit char
+  // ('0' + rank%10) plus NUL. Rank digit arithmetic in-VM.
+  const char prefix[] = "/tmp/ckpt.";
+  std::uint64_t w0 = 0;
+  for (int i = 0; i < 8; ++i) {
+    w0 |= static_cast<std::uint64_t>(
+              static_cast<unsigned char>(prefix[i]))
+          << (8 * i);
+  }
+  b.li(rTmp, static_cast<std::int64_t>(w0));
+  b.store(rPath, rTmp, 0);
+  // Second word: "t." + digit + NUL...
+  std::uint64_t w1 = static_cast<unsigned char>(prefix[8]) |
+                     (static_cast<std::uint64_t>(
+                          static_cast<unsigned char>(prefix[9]))
+                      << 8);
+  b.li(rTmp, static_cast<std::int64_t>(w1));
+  // digit = '0' + rank%10; assume rank < 10 per node file namespace —
+  // larger ranks reuse digits, which is still a valid distinct-file
+  // test per pset. digit char goes to byte 2.
+  constexpr Reg rDigit = 22;
+  b.li(rDigit, 10);
+  // rank % 10 via repeated subtract (ranks are small).
+  constexpr Reg rRank = 23;
+  b.mov(rRank, 1);
+  const auto modTop = b.label();
+  const std::size_t modDone = b.emitForwardBranch(vm::Op::kBlt, rRank,
+                                                  rDigit);
+  b.sub(rRank, rRank, rDigit);
+  b.jump(modTop);
+  b.patchHere(modDone);
+  b.addi(rRank, rRank, '0');
+  b.shl(rRank, rRank, 16);
+  b.orr(rTmp, rTmp, rRank);
+  b.store(rPath, rTmp, 8);
+}
+}  // namespace
+
+std::shared_ptr<kernel::ElfImage> ioKernelImage(const IoKernelParams& p) {
+  vm::ProgramBuilder b("io_kernel");
+  emitPathBuild(b);
+
+  // open(path, O_CREAT|O_WRONLY|O_TRUNC)
+  b.mov(1, rPath);
+  b.li(2, static_cast<std::int64_t>(kernel::kOCreat | kernel::kOWronly |
+                                    kernel::kOTrunc));
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kOpen));
+  b.mov(rFd, vm::kRetReg);
+  b.sample(rFd);
+
+  // Write chunks, timing the whole write phase.
+  b.readTb(rT0);
+  const auto top = b.loopBegin(rChunk, p.chunks);
+  if (p.computeBetween > 0) b.compute(p.computeBetween);
+  b.mov(1, rFd);
+  b.mov(2, 10);  // write data from heap base
+  b.li(3, p.chunkBytes);
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kWrite));
+  b.loopEnd(rChunk, top);
+  b.readTb(rT1);
+  b.sub(rTmp, rT1, rT0);
+  b.sample(rTmp);
+
+  // Seek to 0 and read one chunk back.
+  b.mov(1, rFd);
+  b.li(2, 0);
+  b.li(3, static_cast<std::int64_t>(kernel::kSeekSet));
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kLseek));
+
+  b.mov(1, rFd);
+  b.mov(2, 10);
+  b.li(3, p.chunkBytes);
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kRead));
+  b.sample(vm::kRetReg);
+
+  b.mov(1, rFd);
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kClose));
+
+  b.li(vm::kArg0, 0);
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kExit));
+  return kernel::ElfImage::makeExecutable("io_kernel", std::move(b).build());
+}
+
+}  // namespace bg::apps

@@ -1,0 +1,30 @@
+// Checkpoint-style I/O kernel (paper §IV-A / Fig 2 / bench_io_offload).
+//
+// Each rank opens its own checkpoint file, writes `chunks` buffers of
+// `chunkBytes`, seeks back, reads one chunk to verify the path, and
+// closes. On CNK every call function-ships to the rank's ioproxy.
+//
+// Samples emitted per rank, in order:
+//   0: open() result (fd, or -errno)
+//   1: total cycles spent writing
+//   2: bytes read back on verification
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kernel/elf.hpp"
+
+namespace bg::apps {
+
+struct IoKernelParams {
+  int chunks = 4;
+  std::uint32_t chunkBytes = 16 << 10;
+  /// Compute between chunks (overlap pattern of real checkpointers).
+  std::uint64_t computeBetween = 30'000;
+};
+
+std::shared_ptr<kernel::ElfImage> ioKernelImage(
+    const IoKernelParams& p = {});
+
+}  // namespace bg::apps

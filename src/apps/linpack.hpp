@@ -1,0 +1,26 @@
+// LINPACK proxy (paper §V-D performance-stability experiment).
+//
+// Blocked-DGEMM-shaped phases: heavy compute + L2/L3-visible memory
+// sweeps, with a collective every phase (panel broadcast proxy). One
+// sample per run: total wall cycles, which the stability bench runs 36
+// times the way the paper ran 36 LINPACKs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "kernel/elf.hpp"
+
+namespace bg::apps {
+
+struct LinpackParams {
+  int phases = 24;
+  std::uint64_t computePerPhase = 300'000;
+  std::uint32_t touchBytes = 128 << 10;  // per-phase panel sweep
+  std::uint32_t touchStride = 128;
+  bool useCollective = true;  // allreduce per phase (multi-rank runs)
+};
+
+std::shared_ptr<kernel::ElfImage> linpackImage(const LinpackParams& p = {});
+
+}  // namespace bg::apps

@@ -1,0 +1,83 @@
+#include "cnk/capability.hpp"
+
+namespace bg::kernel {
+
+const char* easeLabel(Ease e) {
+  switch (e) {
+    case Ease::kEasy: return "easy";
+    case Ease::kMedium: return "medium";
+    case Ease::kHard: return "hard";
+    case Ease::kNotAvail: return "not avail";
+    case Ease::kEasyToHard: return "easy - hard";
+    case Ease::kEasyToNotAvail: return "easy - not avail";
+    case Ease::kMediumToHard: return "medium - hard";
+  }
+  return "?";
+}
+
+int easeRank(Ease e) {
+  switch (e) {
+    case Ease::kEasy: return 0;
+    case Ease::kEasyToHard: return 1;
+    case Ease::kEasyToNotAvail: return 1;
+    case Ease::kMedium: return 2;
+    case Ease::kMediumToHard: return 3;
+    case Ease::kHard: return 4;
+    case Ease::kNotAvail: return 5;
+  }
+  return 6;
+}
+
+std::vector<std::string> capabilityFeatures() {
+  return {
+      "Large page use",
+      "Using multiple large page sizes",
+      "Large physically contiguous memory",
+      "No TLB misses",
+      "Full memory protection",
+      "General dynamic linking",
+      "Full mmap support",
+      "Predictable scheduling",
+      "Over commit of threads",
+      "Performance reproducible",
+      "Cycle reproducible execution",
+  };
+}
+
+}  // namespace bg::kernel
+
+namespace bg::cnk {
+
+using kernel::Capability;
+using kernel::Ease;
+
+std::vector<Capability> cnkCapabilities() {
+  // Paper Table II (CNK column) + Table III (implement column for the
+  // entries Table II lists as not-avail on CNK).
+  return {
+      {"Large page use", Ease::kEasy, Ease::kEasy,
+       "static map uses large pages by default; no app change"},
+      {"Using multiple large page sizes", Ease::kEasy, Ease::kEasy,
+       "partitioner mixes 1MB/16MB/256MB/1GB"},
+      {"Large physically contiguous memory", Ease::kEasy, Ease::kEasy,
+       "regions are physically contiguous by construction"},
+      {"No TLB misses", Ease::kEasy, Ease::kEasy,
+       "whole address space statically TLB-mapped"},
+      {"Full memory protection", Ease::kNotAvail, Ease::kMedium,
+       "would need dynamic page misses / faulting over the network"},
+      {"General dynamic linking", Ease::kNotAvail, Ease::kMedium,
+       "ld.so subset only: full-load MAP_COPY, no page perms"},
+      {"Full mmap support", Ease::kNotAvail, Ease::kHard,
+       "file mmap is copy-in read-only; no demand paging"},
+      {"Predictable scheduling", Ease::kEasy, Ease::kEasy,
+       "non-preemptive, fixed affinity"},
+      {"Over commit of threads", Ease::kEasyToNotAvail, Ease::kMedium,
+       "3 threads/core on BG/P; compile-time variable next-gen"},
+      {"Performance reproducible", Ease::kEasy, Ease::kEasy,
+       "no noise sources to perturb runs"},
+      {"Cycle reproducible execution", Ease::kEasy, Ease::kEasy,
+       "reset-tolerant restart from DDR self-refresh"},
+  };
+}
+
+}  // namespace bg::cnk

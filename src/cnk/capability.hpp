@@ -1,0 +1,11 @@
+// CNK's capability registry (paper Tables II & III, CNK column).
+#pragma once
+
+#include "kernel/capability.hpp"
+
+namespace bg::cnk {
+
+/// Capabilities as shipped by BG/P's CNK.
+std::vector<kernel::Capability> cnkCapabilities();
+
+}  // namespace bg::cnk

@@ -1,0 +1,96 @@
+#include "cnk/fship_client.hpp"
+
+#include <algorithm>
+
+namespace bg::cnk {
+
+FshipClient::FshipClient(kernel::KernelBase& kern, int ioNodeNetId)
+    : kern_(kern), ioNodeNetId_(ioNodeNetId) {}
+
+void FshipClient::attach() {
+  kern_.node().collective()->setHandler(
+      kern_.node().id(),
+      [this](hw::CollPacket&& pkt) { onReply(std::move(pkt)); });
+}
+
+sim::Cycle FshipClient::shipRaw(io::FsOp op, std::uint32_t pid,
+                                std::uint32_t tid, std::uint64_t a0,
+                                std::uint64_t a1, std::uint64_t a2,
+                                std::string path,
+                                std::vector<std::byte> payload,
+                                Completion completion) {
+  io::FsRequest req;
+  req.seq = nextSeq_++;
+  req.srcNode = kern_.node().id();
+  req.pid = pid;
+  req.tid = tid;
+  req.op = op;
+  req.a0 = a0;
+  req.a1 = a1;
+  req.a2 = a2;
+  req.path = std::move(path);
+  req.payload = std::move(payload);
+
+  pending_[req.seq] = std::move(completion);
+  ++stats_.requests;
+
+  auto bytes = req.encode();
+  stats_.bytesShipped += bytes.size();
+  const sim::Cycle cost = marshalCost(req.payload.size());
+
+  hw::CollPacket pkt;
+  pkt.srcNode = kern_.node().id();
+  pkt.dstNode = ioNodeNetId_;
+  pkt.channel = io::kChanFshipRequest;
+  pkt.payload = std::move(bytes);
+  kern_.node().collective()->send(std::move(pkt));
+  return cost;
+}
+
+hw::HandlerResult FshipClient::ship(kernel::Thread& t, io::FsOp op,
+                                    std::uint64_t a0, std::uint64_t a1,
+                                    std::uint64_t a2, std::string path,
+                                    std::vector<std::byte> payload,
+                                    hw::VAddr userBuf,
+                                    std::uint64_t userLen) {
+  kernel::Thread* tp = &t;
+  kernel::KernelBase* kern = &kern_;
+  FshipStats* stats = &stats_;
+  const sim::Cycle cost =
+      shipRaw(op, t.ctx.pid, t.ctx.tid, a0, a1, a2, std::move(path),
+              std::move(payload),
+              [tp, kern, stats, userBuf, userLen](io::FsReply&& rep) {
+                stats->bytesReceived += rep.payload.size();
+                // stat-style ops succeed with result 0 but still carry
+                // a payload; copy whenever the op did not fail.
+                if (userBuf != 0 && !rep.payload.empty() &&
+                    rep.result >= 0) {
+                  const std::size_t n = std::min<std::size_t>(
+                      rep.payload.size(),
+                      static_cast<std::size_t>(userLen));
+                  kern->copyToUser(tp->proc, userBuf,
+                                   std::span(rep.payload.data(), n));
+                }
+                kern->wakeThread(*tp,
+                                 static_cast<std::uint64_t>(rep.result));
+              });
+
+  // Block without yielding: the core spins until the reply.
+  t.ctx.state = hw::ThreadState::kBlocked;
+  t.ctx.yieldOnBlock = false;
+  return hw::HandlerResult::blocked(cost);
+}
+
+void FshipClient::onReply(hw::CollPacket&& pkt) {
+  if (pkt.channel != io::kChanFshipReply) return;
+  auto rep = io::FsReply::decode(pkt.payload);
+  if (!rep) return;
+  auto it = pending_.find(rep->seq);
+  if (it == pending_.end()) return;
+  ++stats_.repliesMatched;
+  Completion c = std::move(it->second);
+  pending_.erase(it);
+  if (c) c(std::move(*rep));
+}
+
+}  // namespace bg::cnk

@@ -1,0 +1,69 @@
+// CNK side of the function-shipped I/O protocol (paper §IV-A, Fig 2).
+//
+// When an application makes an I/O system call, CNK marshals the
+// parameters into a message and ships it over the collective network
+// to the CIOD on the I/O node. The calling thread blocks WITHOUT
+// yielding the core (ctx.yieldOnBlock = false): the paper notes that
+// not yielding during an I/O syscall is what makes function shipping
+// trivial — no kernel context switch ever happens on a kernel stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "hw/collective.hpp"
+#include "io/protocol.hpp"
+#include "kernel/kernel.hpp"
+
+namespace bg::cnk {
+
+struct FshipStats {
+  std::uint64_t requests = 0;
+  std::uint64_t repliesMatched = 0;
+  std::uint64_t bytesShipped = 0;
+  std::uint64_t bytesReceived = 0;
+};
+
+class FshipClient {
+ public:
+  FshipClient(kernel::KernelBase& kern, int ioNodeNetId);
+
+  /// Register the reply handler on the node's collective tap.
+  void attach();
+
+  /// Marshal-and-send costs charged to the calling thread.
+  sim::Cycle marshalCost(std::uint64_t payloadBytes) const {
+    return 600 + payloadBytes / 8;
+  }
+
+  /// Ship a request on behalf of thread t and block it (no yield).
+  /// On reply: for kRead/kGetcwd the payload is copied to userBuf
+  /// (bounded by userLen), then the thread wakes with the result.
+  hw::HandlerResult ship(kernel::Thread& t, io::FsOp op, std::uint64_t a0,
+                         std::uint64_t a1, std::uint64_t a2,
+                         std::string path, std::vector<std::byte> payload,
+                         hw::VAddr userBuf = 0, std::uint64_t userLen = 0);
+
+  /// Lower-level variant for kernel-internal chains (the dynamic
+  /// linker's open/read/close sequence): completion gets the reply.
+  using Completion = std::function<void(io::FsReply&&)>;
+  sim::Cycle shipRaw(io::FsOp op, std::uint32_t pid, std::uint32_t tid,
+                     std::uint64_t a0, std::uint64_t a1, std::uint64_t a2,
+                     std::string path, std::vector<std::byte> payload,
+                     Completion completion);
+
+  const FshipStats& stats() const { return stats_; }
+  std::size_t pendingCount() const { return pending_.size(); }
+
+ private:
+  void onReply(hw::CollPacket&& pkt);
+
+  kernel::KernelBase& kern_;
+  int ioNodeNetId_;
+  std::uint64_t nextSeq_ = 1;
+  std::map<std::uint64_t, Completion> pending_;
+  FshipStats stats_;
+};
+
+}  // namespace bg::cnk

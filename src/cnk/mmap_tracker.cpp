@@ -1,0 +1,171 @@
+#include "cnk/mmap_tracker.hpp"
+
+namespace bg::cnk {
+
+void MmapTracker::reset(hw::VAddr lo, hw::VAddr hi) {
+  lo_ = lo;
+  hi_ = hi;
+  free_.clear();
+  allocated_.clear();
+  bytesAllocated_ = 0;
+  if (hi > lo) free_[lo] = hi - lo;
+}
+
+std::optional<hw::VAddr> MmapTracker::alloc(std::uint64_t len,
+                                            std::uint64_t align) {
+  if (len == 0) return std::nullopt;
+  len = hw::alignUp(len, align);
+  // Highest-fitting block: scan from the top.
+  for (auto it = free_.rbegin(); it != free_.rend(); ++it) {
+    const hw::VAddr base = it->first;
+    const std::uint64_t flen = it->second;
+    // Place at the *top* of the block, aligned down.
+    if (flen < len) continue;
+    const hw::VAddr addr = hw::alignDown(base + flen - len, align);
+    if (addr < base || addr + len > base + flen) continue;
+    // Split the free block.
+    const std::uint64_t before = addr - base;
+    const std::uint64_t after = (base + flen) - (addr + len);
+    free_.erase(std::next(it).base());
+    if (before > 0) free_[base] = before;
+    if (after > 0) free_[addr + len] = after;
+    allocated_[addr] = Range{len, hw::kPermRW};
+    bytesAllocated_ += len;
+    return addr;
+  }
+  return std::nullopt;
+}
+
+bool MmapTracker::allocFixed(hw::VAddr addr, std::uint64_t len) {
+  if (len == 0 || addr < lo_ || addr + len > hi_) return false;
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const hw::VAddr base = it->first;
+    const std::uint64_t flen = it->second;
+    if (addr >= base && addr + len <= base + flen) {
+      const std::uint64_t before = addr - base;
+      const std::uint64_t after = (base + flen) - (addr + len);
+      free_.erase(it);
+      if (before > 0) free_[base] = before;
+      if (after > 0) free_[addr + len] = after;
+      allocated_[addr] = Range{len, hw::kPermRW};
+      bytesAllocated_ += len;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MmapTracker::insertFree(hw::VAddr addr, std::uint64_t len) {
+  // Coalesce with the predecessor and successor when adjacent — the
+  // "coalesces memory when buffers are freed" behaviour (§IV-C).
+  auto next = free_.lower_bound(addr);
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == addr) {
+      addr = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  next = free_.lower_bound(addr);
+  if (next != free_.end() && addr + len == next->first) {
+    len += next->second;
+    free_.erase(next);
+  }
+  free_[addr] = len;
+}
+
+bool MmapTracker::free(hw::VAddr addr, std::uint64_t len) {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) {
+    // Partial unmap from inside a block: find the covering allocation.
+    it = allocated_.upper_bound(addr);
+    if (it == allocated_.begin()) return false;
+    --it;
+    const hw::VAddr abase = it->first;
+    const Range r = it->second;
+    if (addr + len > abase + r.len) return false;
+    // Split into up to two remaining allocations.
+    allocated_.erase(it);
+    if (addr > abase) {
+      allocated_[abase] = Range{addr - abase, r.perms};
+    }
+    if (addr + len < abase + r.len) {
+      allocated_[addr + len] = Range{(abase + r.len) - (addr + len), r.perms};
+    }
+    bytesAllocated_ -= len;
+    insertFree(addr, len);
+    return true;
+  }
+  if (it->second.len < len) return false;
+  if (it->second.len > len) {
+    // Freeing a prefix.
+    allocated_[addr + len] = Range{it->second.len - len, it->second.perms};
+  }
+  allocated_.erase(it);
+  bytesAllocated_ -= len;
+  insertFree(addr, len);
+  return true;
+}
+
+void MmapTracker::mergeAllocatedNeighbors(hw::VAddr addr) {
+  // Coalesce bookkeeping entries with equal perms (the paper notes
+  // coalescing also happens "when permissions on those buffers
+  // change").
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) return;
+  // Merge with successor(s).
+  for (;;) {
+    auto next = std::next(it);
+    if (next == allocated_.end()) break;
+    if (it->first + it->second.len == next->first &&
+        it->second.perms == next->second.perms) {
+      it->second.len += next->second.len;
+      allocated_.erase(next);
+    } else {
+      break;
+    }
+  }
+  // Merge with predecessor.
+  if (it != allocated_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.len == it->first &&
+        prev->second.perms == it->second.perms) {
+      prev->second.len += it->second.len;
+      allocated_.erase(it);
+    }
+  }
+}
+
+bool MmapTracker::setProt(hw::VAddr addr, std::uint64_t len,
+                          std::uint8_t perms) {
+  auto it = allocated_.upper_bound(addr);
+  if (it == allocated_.begin()) return false;
+  --it;
+  const hw::VAddr abase = it->first;
+  Range r = it->second;
+  if (addr < abase || addr + len > abase + r.len) return false;
+  // Split so the protected subrange is its own entry, then recolor and
+  // re-coalesce.
+  allocated_.erase(it);
+  if (addr > abase) allocated_[abase] = Range{addr - abase, r.perms};
+  allocated_[addr] = Range{len, perms};
+  if (addr + len < abase + r.len) {
+    allocated_[addr + len] = Range{(abase + r.len) - (addr + len), r.perms};
+  }
+  mergeAllocatedNeighbors(addr);
+  return true;
+}
+
+bool MmapTracker::isAllocated(hw::VAddr addr) const {
+  auto it = allocated_.upper_bound(addr);
+  if (it == allocated_.begin()) return false;
+  --it;
+  return addr >= it->first && addr - it->first < it->second.len;
+}
+
+hw::VAddr MmapTracker::lowestAllocated() const {
+  return allocated_.empty() ? hi_ : allocated_.begin()->first;
+}
+
+}  // namespace bg::cnk

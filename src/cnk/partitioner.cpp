@@ -1,0 +1,205 @@
+#include "cnk/partitioner.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace bg::cnk {
+
+namespace {
+constexpr std::array<std::uint64_t, 4> kPageSizes = {
+    hw::kPage1M, hw::kPage16M, hw::kPage256M, hw::kPage1G};
+}
+
+std::uint64_t pickPageSize(std::uint64_t size, int maxTiles) {
+  for (std::uint64_t p : kPageSizes) {
+    const std::uint64_t tiles = (size + p - 1) / p;
+    if (tiles <= static_cast<std::uint64_t>(maxTiles)) return p;
+  }
+  return 0;
+}
+
+int tileCount(std::uint64_t size, std::uint64_t pageSize) {
+  return static_cast<int>((size + pageSize - 1) / pageSize);
+}
+
+namespace {
+
+/// Lay one region at/after vHint and pCursor, aligned to its page
+/// size. Updates pCursor and accumulates waste.
+kernel::MemRegionDesc layRegion(const std::string& name, hw::VAddr vHint,
+                                std::uint64_t size, std::uint8_t perms,
+                                int maxTiles, std::uint64_t& pCursor,
+                                std::uint64_t& waste, bool& ok) {
+  kernel::MemRegionDesc r;
+  const std::uint64_t page = pickPageSize(std::max<std::uint64_t>(size, 1),
+                                          maxTiles);
+  if (page == 0) {
+    ok = false;
+    return r;
+  }
+  const std::uint64_t mapped =
+      static_cast<std::uint64_t>(tileCount(size, page)) * page;
+  const hw::VAddr vbase = hw::alignUp(vHint, page);
+  const std::uint64_t pbase = hw::alignUp(pCursor, page);
+  waste += (pbase - pCursor) + (mapped - size);
+  pCursor = pbase + mapped;
+  r.name = name;
+  r.vbase = vbase;
+  r.pbase = pbase;
+  r.size = mapped;
+  r.perms = perms;
+  r.pageSize = page;
+  return r;
+}
+
+}  // namespace
+
+PartitionResult partitionMemory(const PartitionRequest& req) {
+  PartitionResult res;
+  if (req.processes < 1 || req.processes > 4) {
+    res.error = "process count must be 1..4";
+    return res;
+  }
+  if (req.physSize == 0) {
+    res.error = "no physical memory";
+    return res;
+  }
+
+  // Tile budgets: text/data/shared are small and get a handful of
+  // entries each; the heap/stack range is the big one and uses
+  // whatever remains of the TLB budget.
+  const int maxTiles = std::max(1, std::min(8, req.tlbBudget / 4));
+
+  std::uint64_t pCursor = req.physBase;
+  std::uint64_t waste = 0;
+  bool ok = true;
+
+  // Shared memory first: one physical range mapped identically into
+  // every process.
+  kernel::MemRegionDesc shared;
+  if (req.sharedBytes > 0) {
+    shared = layRegion("shared", kSharedVBase, req.sharedBytes,
+                       hw::kPermRW, maxTiles, pCursor, waste, ok);
+    if (!ok) {
+      res.error = "shared region does not tile";
+      return res;
+    }
+  }
+
+  // Heap+stack: divide what remains evenly among processes (paper
+  // §VII-B: "CNK divides memory on a node evenly among the tasks").
+  const std::uint64_t end = req.physBase + req.physSize;
+
+  for (int p = 0; p < req.processes && ok; ++p) {
+    ProcLayout lay;
+    // No memory protection on CNK text: the static map deliberately
+    // leaves text writable (paper §IV-B2 / Table II "Full memory
+    // protection: not avail").
+    lay.text = layRegion("text", kTextVBase, req.textBytes, hw::kPermRWX,
+                         maxTiles, pCursor, waste, ok);
+    if (!ok) break;
+    lay.data = layRegion("data", lay.text.vbase + lay.text.size,
+                         req.dataBytes, hw::kPermRW, maxTiles, pCursor,
+                         waste, ok);
+    if (!ok) break;
+    lay.shared = shared;
+    res.procs.push_back(lay);
+  }
+  if (!ok) {
+    res.error = "text/data region does not tile";
+    return res;
+  }
+
+  // Remaining physical memory -> heap+stack ranges, evenly divided.
+  if (pCursor >= end) {
+    res.error = "no memory left for heap/stack";
+    return res;
+  }
+  const std::uint64_t remaining = end - pCursor;
+  const std::uint64_t perProc = remaining / static_cast<std::uint64_t>(
+                                    req.processes);
+
+  // TLB entries already spent on the small regions.
+  const ProcLayout& first = res.procs.front();
+  int used = tileCount(first.text.size, first.text.pageSize) +
+             tileCount(first.data.size, first.data.pageSize);
+  if (req.sharedBytes > 0) {
+    used += tileCount(first.shared.size, first.shared.pageSize);
+  }
+  const int heapBudget = std::max(1, req.tlbBudget - used);
+
+  for (int p = 0; p < req.processes; ++p) {
+    ProcLayout& lay = res.procs[static_cast<std::size_t>(p)];
+    // Smallest page that tiles the heap within the remaining budget;
+    // smaller pages lose less to alignment in a small node. If
+    // alignment to the chosen page would starve the heap entirely,
+    // step the page size down (serving memory beats staying strictly
+    // inside the entry budget — the real partitioner does the same).
+    std::uint64_t page = pickPageSize(perProc, heapBudget);
+    if (page == 0) page = hw::kPage1G;
+    std::uint64_t pbase = 0;
+    std::uint64_t mapped = 0;
+    for (;;) {
+      pbase = hw::alignUp(pCursor, page);
+      if (pbase < end) {
+        const std::uint64_t avail = std::min(perProc, end - pbase);
+        mapped = hw::alignDown(avail, page);
+      } else {
+        mapped = 0;
+      }
+      if (mapped > 0 || page == hw::kPage1M) break;
+      page = page == hw::kPage1G    ? hw::kPage256M
+             : page == hw::kPage256M ? hw::kPage16M
+                                     : hw::kPage1M;
+    }
+    if (mapped == 0) {
+      res.error = "heap smaller than one page";
+      return res;
+    }
+    waste += pbase - pCursor;
+    pCursor = pbase + mapped;
+
+    kernel::MemRegionDesc& hs = lay.heapStack;
+    hs.name = "heapStack";
+    hs.vbase = hw::alignUp(lay.data.vbase + lay.data.size, page);
+    hs.pbase = pbase;
+    hs.size = mapped;
+    hs.perms = hw::kPermRW;
+    hs.pageSize = page;
+  }
+
+  int entries = 0;
+  const ProcLayout& l0 = res.procs.front();
+  entries += tileCount(l0.text.size, l0.text.pageSize);
+  entries += tileCount(l0.data.size, l0.data.pageSize);
+  entries += tileCount(l0.heapStack.size, l0.heapStack.pageSize);
+  if (req.sharedBytes > 0) {
+    entries += tileCount(l0.shared.size, l0.shared.pageSize);
+  }
+  res.tlbEntriesPerProcess = entries;
+  res.wastedBytes = waste;
+  res.physUsed = pCursor - req.physBase;
+  res.ok = true;
+  return res;
+}
+
+std::vector<hw::TlbEntry> tlbEntriesFor(const kernel::MemRegionDesc& r,
+                                        std::uint32_t pid) {
+  std::vector<hw::TlbEntry> out;
+  if (r.size == 0) return out;
+  const int tiles = tileCount(r.size, r.pageSize);
+  out.reserve(static_cast<std::size_t>(tiles));
+  for (int i = 0; i < tiles; ++i) {
+    hw::TlbEntry e;
+    e.pid = pid;
+    e.vaddr = r.vbase + static_cast<std::uint64_t>(i) * r.pageSize;
+    e.paddr = r.pbase + static_cast<std::uint64_t>(i) * r.pageSize;
+    e.size = r.pageSize;
+    e.perms = r.perms;
+    e.valid = true;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace bg::cnk

@@ -1,0 +1,72 @@
+// CNK's static memory partitioner (paper §IV-C, Fig 3).
+//
+// Given the ELF section sizes, the process count per node, and the
+// user-specified shared-memory size, tile virtual and physical memory
+// into four contiguous ranges per process — text(+rodata), data,
+// heap+stack, shared — choosing among the hardware page sizes
+// (1MB/16MB/256MB/1GB) so the whole map fits in the TLB with room to
+// spare, and respecting the alignment constraints of each page size.
+// The mapping is static for the life of the process: no faults, no
+// misses — and measurably some wasted physical memory (paper §VII-B),
+// which the result reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/mmu.hpp"
+#include "kernel/process.hpp"
+
+namespace bg::cnk {
+
+struct PartitionRequest {
+  std::uint64_t physBase = 0;   // first app-usable physical byte
+  std::uint64_t physSize = 0;   // app-usable physical bytes
+  int processes = 1;            // 1 (SMP) / 2 (DUAL) / 4 (VN)
+  std::uint64_t textBytes = 0;
+  std::uint64_t dataBytes = 0;
+  std::uint64_t sharedBytes = 0;
+  /// TLB entries the map may use per core (leave headroom for dlopen
+  /// and persistent regions).
+  int tlbBudget = 48;
+};
+
+struct ProcLayout {
+  kernel::MemRegionDesc text;
+  kernel::MemRegionDesc data;
+  kernel::MemRegionDesc heapStack;
+  kernel::MemRegionDesc shared;  // same physical range for all processes
+};
+
+struct PartitionResult {
+  bool ok = false;
+  std::string error;
+  std::vector<ProcLayout> procs;
+  int tlbEntriesPerProcess = 0;
+  std::uint64_t wastedBytes = 0;  // alignment + rounding losses
+  std::uint64_t physUsed = 0;
+};
+
+/// Virtual layout constants (Fig 3): text low, data above it, then
+/// heap growing up / stack growing down within one range, and shared
+/// memory at a fixed high address.
+inline constexpr hw::VAddr kTextVBase = 0x0100'0000;      // 16MB
+inline constexpr hw::VAddr kSharedVBase = 0xC000'0000;    // 3GB
+inline constexpr hw::VAddr kPersistVBase = 0xE000'0000;   // persistent pool
+
+/// Pick the page size for a region of `size` bytes: the smallest
+/// hardware page such that the region tiles in at most `maxTiles`
+/// entries. Returns 0 if even 1GB pages cannot cover it.
+std::uint64_t pickPageSize(std::uint64_t size, int maxTiles);
+
+/// Number of page-size tiles covering `size`.
+int tileCount(std::uint64_t size, std::uint64_t pageSize);
+
+PartitionResult partitionMemory(const PartitionRequest& req);
+
+/// Expand a region descriptor into the TLB entries that map it.
+std::vector<hw::TlbEntry> tlbEntriesFor(const kernel::MemRegionDesc& r,
+                                        std::uint32_t pid);
+
+}  // namespace bg::cnk

@@ -1,0 +1,67 @@
+#include "fwk/buddy.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace bg::fwk {
+
+BuddyAllocator::BuddyAllocator(hw::PAddr base, std::uint64_t size)
+    : base_(base), freeLists_(kMaxOrder + 1) {
+  const std::uint64_t maxBlock = 1ULL << kMaxOrder;
+  size_ = hw::alignDown(size, maxBlock);
+  for (std::uint64_t off = 0; off < size_; off += maxBlock) {
+    freeLists_[kMaxOrder].insert(base_ + off);
+  }
+  bytesFree_ = size_;
+}
+
+int BuddyAllocator::orderFor(std::uint64_t size) const {
+  if (size == 0) size = 1;
+  int order = 64 - std::countl_zero(size - 1);
+  if (order < kMinOrder) order = kMinOrder;
+  return order;
+}
+
+std::optional<hw::PAddr> BuddyAllocator::alloc(std::uint64_t size) {
+  const int want = orderFor(size);
+  if (want > kMaxOrder) return std::nullopt;
+  int order = want;
+  while (order <= kMaxOrder && freeLists_[order].empty()) ++order;
+  if (order > kMaxOrder) return std::nullopt;
+  hw::PAddr block = *freeLists_[order].begin();
+  freeLists_[order].erase(freeLists_[order].begin());
+  // Split down to the wanted order, returning the high halves to the
+  // free lists.
+  while (order > want) {
+    --order;
+    freeLists_[order].insert(block + (1ULL << order));
+  }
+  bytesFree_ -= 1ULL << want;
+  return block;
+}
+
+void BuddyAllocator::free(hw::PAddr addr, std::uint64_t size) {
+  int order = orderFor(size);
+  bytesFree_ += 1ULL << order;
+  // Coalesce with the buddy while possible.
+  while (order < kMaxOrder) {
+    const std::uint64_t blockSize = 1ULL << order;
+    const hw::PAddr rel = addr - base_;
+    const hw::PAddr buddy = base_ + (rel ^ blockSize);
+    auto it = freeLists_[order].find(buddy);
+    if (it == freeLists_[order].end()) break;
+    freeLists_[order].erase(it);
+    if (buddy < addr) addr = buddy;
+    ++order;
+  }
+  freeLists_[order].insert(addr);
+}
+
+std::uint64_t BuddyAllocator::largestFreeBlock() const {
+  for (int order = kMaxOrder; order >= kMinOrder; --order) {
+    if (!freeLists_[order].empty()) return 1ULL << order;
+  }
+  return 0;
+}
+
+}  // namespace bg::fwk

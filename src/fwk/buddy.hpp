@@ -1,0 +1,49 @@
+// Buddy physical-page allocator for the FWK baseline.
+//
+// Beyond serving demand paging, this is the mechanism behind the
+// paper's Table II row "Large physically contiguous memory:
+// easy - hard" for Linux: a request is easy to make, but whether a
+// high-order block exists depends on fragmentation — which
+// largestFreeBlock() exposes and tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hw/addr.hpp"
+
+namespace bg::fwk {
+
+class BuddyAllocator {
+ public:
+  /// Manage [base, base+size). size is rounded down to a multiple of
+  /// the max block; minOrder block is 4KB.
+  BuddyAllocator(hw::PAddr base, std::uint64_t size);
+
+  /// Allocate a block of at least `size` bytes (rounded up to a power
+  /// of two, min 4KB). Returns nullopt when no suitable block exists.
+  std::optional<hw::PAddr> alloc(std::uint64_t size);
+  /// Free a block previously returned by alloc with the same size.
+  void free(hw::PAddr addr, std::uint64_t size);
+
+  std::uint64_t bytesFree() const { return bytesFree_; }
+  std::uint64_t largestFreeBlock() const;
+  std::uint64_t totalBytes() const { return size_; }
+
+  static constexpr int kMinOrder = 12;  // 4KB
+  static constexpr int kMaxOrder = 24;  // 16MB max single block
+
+ private:
+  int orderFor(std::uint64_t size) const;
+
+  hw::PAddr base_;
+  std::uint64_t size_;
+  std::uint64_t bytesFree_ = 0;
+  // Free lists per order, kept sorted for deterministic buddy merging.
+  std::vector<std::set<hw::PAddr>> freeLists_;
+};
+
+}  // namespace bg::fwk

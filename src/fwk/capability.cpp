@@ -1,0 +1,36 @@
+#include "fwk/capability.hpp"
+
+namespace bg::fwk {
+
+using kernel::Capability;
+using kernel::Ease;
+
+std::vector<Capability> linuxCapabilities() {
+  return {
+      {"Large page use", Ease::kMedium, Ease::kEasy,
+       "hugetlbfs/libhugetlbfs: needs tuning, not automatic"},
+      {"Using multiple large page sizes", Ease::kMedium, Ease::kEasy,
+       "multiple page sizes only recently available"},
+      {"Large physically contiguous memory", Ease::kEasyToHard,
+       Ease::kMedium,
+       "easy to request; grant depends on fragmentation"},
+      {"No TLB misses", Ease::kNotAvail, Ease::kHard,
+       "demand paging makes misses structural"},
+      {"Full memory protection", Ease::kEasy, Ease::kEasy,
+       "page-granular perms enforced"},
+      {"General dynamic linking", Ease::kEasy, Ease::kEasy,
+       "stock ld.so"},
+      {"Full mmap support", Ease::kEasy, Ease::kEasy,
+       "demand paging + page cache"},
+      {"Predictable scheduling", Ease::kMedium, Ease::kEasy,
+       "isolcpus/affinity tuning required"},
+      {"Over commit of threads", Ease::kMedium, Ease::kEasy,
+       "native, with scheduler interference"},
+      {"Performance reproducible", Ease::kMediumToHard, Ease::kMedium,
+       "daemons/ticks perturb runs"},
+      {"Cycle reproducible execution", Ease::kNotAvail, Ease::kMedium,
+       "interrupt/entropy timing varies per run"},
+  };
+}
+
+}  // namespace bg::fwk

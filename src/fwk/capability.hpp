@@ -1,0 +1,12 @@
+// Linux capability registry (paper Tables II & III, Linux column).
+#pragma once
+
+#include "kernel/capability.hpp"
+
+namespace bg::fwk {
+
+/// Capabilities as offered by a 2.6.30-generation Linux (the version
+/// the paper's tables evaluate).
+std::vector<kernel::Capability> linuxCapabilities();
+
+}  // namespace bg::fwk

@@ -1,0 +1,44 @@
+#include "fwk/daemons.hpp"
+
+#include "vm/builder.hpp"
+
+namespace bg::fwk {
+
+std::vector<DaemonSpec> defaultDaemons() {
+  return {
+      // Core 0: interrupt/softirq handling and memory housekeeping —
+      // the paper's noisiest core (max excursion ~38K cycles).
+      {"ksoftirqd/0", 0, 10'000, 11'000, 4096},
+      {"kswapd0", 0, 500'000, 24'000, 8192},
+      // Core 1: the quietest core (max ~10K): only a light events
+      // worker lands here.
+      {"events/1", 1, 150'000, 5'500, 2048},
+      // Core 2: filesystem writeback + RPC for the network filesystem
+      // (max ~42K).
+      {"pdflush", 2, 400'000, 30'000, 8192},
+      {"rpciod/2", 2, 50'000, 9'000, 2048},
+      // Core 3: housekeeping plus init and the single shell the FWQ
+      // methodology leaves running (max ~36K).
+      {"events/3", 3, 40'000, 9'500, 2048},
+      {"init", 3, 1'000'000, 31'000, 4096},
+      {"shell", 3, 900'000, 11'000, 4096},
+  };
+}
+
+vm::Program daemonProgram(const DaemonSpec& spec) {
+  using vm::Reg;
+  vm::ProgramBuilder b("daemon:" + spec.name);
+  constexpr Reg rBuf = 20;
+  // Daemons work out of their process's heap base (r10 at start).
+  b.mov(rBuf, 10);
+  const auto top = b.label();
+  b.memTouch(rBuf, 0, spec.touchBytes, 0, /*write=*/true);
+  b.compute(spec.burstCycles);
+  // nanosleep(periodUs): args in r1.
+  b.li(vm::kArg0, static_cast<std::int64_t>(spec.periodUs));
+  b.syscall(static_cast<std::int64_t>(162 /* kNanosleep */));
+  b.jump(top);
+  return std::move(b).build();
+}
+
+}  // namespace bg::fwk

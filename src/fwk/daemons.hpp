@@ -1,0 +1,39 @@
+// The FWK's background daemon population — the OS-noise sources.
+//
+// Noise in this model is mechanistic: each daemon is a real kernel
+// thread running a real VM program (touch some memory, burn a burst of
+// cycles, nanosleep). Its wakeups preempt the benchmark thread on its
+// core, its memory touches churn the TLB and caches. The population
+// below is shaped after the paper's FWQ measurement (Figs 5-7): core 0
+// carries the interrupt/softirq load and is the noisiest, core 1 is
+// the quietest, cores 2 and 3 carry filesystem and housekeeping
+// daemons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace bg::fwk {
+
+struct DaemonSpec {
+  std::string name;
+  int core = 0;            // affinity
+  std::uint64_t periodUs = 1000;
+  std::uint64_t burstCycles = 5000;
+  std::uint32_t touchBytes = 2048;  // memory it dirties per wakeup
+};
+
+/// The default daemon set (calibrated against the paper's Fig 5 noise
+/// profile on SUSE 2.6.16). "Efforts were made to reduce noise on
+/// Linux": this is already the reduced set — init, a shell, and the
+/// kernel daemons that cannot be suspended.
+std::vector<DaemonSpec> defaultDaemons();
+
+/// Build the VM program a daemon thread runs forever:
+///   loop { memtouch(touchBytes); compute(burst); nanosleep(period) }
+vm::Program daemonProgram(const DaemonSpec& spec);
+
+}  // namespace bg::fwk

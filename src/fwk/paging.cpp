@@ -1,0 +1,80 @@
+#include "fwk/paging.hpp"
+
+#include <algorithm>
+
+namespace bg::fwk {
+
+void AddressSpace::addVma(Vma vma) { vmas_.push_back(std::move(vma)); }
+
+void AddressSpace::removeVma(hw::VAddr base, std::uint64_t size) {
+  vmas_.erase(std::remove_if(vmas_.begin(), vmas_.end(),
+                             [&](const Vma& v) {
+                               return v.base < base + size &&
+                                      base < v.base + v.size;
+                             }),
+              vmas_.end());
+  for (hw::VAddr va = hw::alignDown(base, hw::kPage4K); va < base + size;
+       va += hw::kPage4K) {
+    pages_.erase(va / hw::kPage4K);
+  }
+}
+
+Vma* AddressSpace::vmaFor(hw::VAddr va) {
+  for (Vma& v : vmas_) {
+    if (v.contains(va)) return &v;
+  }
+  return nullptr;
+}
+
+const Vma* AddressSpace::vmaFor(hw::VAddr va) const {
+  for (const Vma& v : vmas_) {
+    if (v.contains(va)) return &v;
+  }
+  return nullptr;
+}
+
+bool AddressSpace::protect(hw::VAddr base, std::uint64_t size,
+                           std::uint8_t perms) {
+  Vma* v = vmaFor(base);
+  if (v == nullptr) return false;
+  if (base == v->base && size == v->size) {
+    v->perms = perms;
+  } else {
+    // Split: carve the protected subrange into its own VMA.
+    if (base + size > v->base + v->size) return false;
+    Vma head = *v;
+    Vma mid = *v;
+    Vma tail = *v;
+    head.size = base - v->base;
+    mid.base = base;
+    mid.size = size;
+    mid.perms = perms;
+    tail.base = base + size;
+    tail.size = (v->base + v->size) - (base + size);
+    *v = mid;
+    if (head.size > 0) vmas_.push_back(head);
+    if (tail.size > 0) vmas_.push_back(tail);
+  }
+  for (hw::VAddr va = hw::alignDown(base, hw::kPage4K); va < base + size;
+       va += hw::kPage4K) {
+    auto it = pages_.find(va / hw::kPage4K);
+    if (it != pages_.end()) it->second.perms = perms;
+  }
+  return true;
+}
+
+PageEntry* AddressSpace::page(hw::VAddr va) {
+  auto it = pages_.find(va / hw::kPage4K);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::mapPage(hw::VAddr va, hw::PAddr frame,
+                           std::uint8_t perms) {
+  pages_[va / hw::kPage4K] = PageEntry{frame, perms, true};
+}
+
+void AddressSpace::unmapPage(hw::VAddr va) {
+  pages_.erase(va / hw::kPage4K);
+}
+
+}  // namespace bg::fwk

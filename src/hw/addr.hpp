@@ -1,0 +1,48 @@
+// Address-space primitives shared by the hardware model and kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace bg::hw {
+
+using VAddr = std::uint64_t;
+using PAddr = std::uint64_t;
+
+enum class Access : std::uint8_t { kRead, kWrite, kExec };
+
+/// Page permission bits.
+enum Perm : std::uint8_t {
+  kPermNone = 0,
+  kPermR = 1,
+  kPermW = 2,
+  kPermX = 4,
+  kPermRW = kPermR | kPermW,
+  kPermRX = kPermR | kPermX,
+  kPermRWX = kPermR | kPermW | kPermX,
+};
+
+constexpr bool permAllows(std::uint8_t perms, Access a) {
+  switch (a) {
+    case Access::kRead: return (perms & kPermR) != 0;
+    case Access::kWrite: return (perms & kPermW) != 0;
+    case Access::kExec: return (perms & kPermX) != 0;
+  }
+  return false;
+}
+
+// BG/P-style hardware page sizes available to the static mapper
+// (paper §IV-C: 1MB, 16MB, 256MB, 1GB), plus the FWK's 4KB base pages.
+inline constexpr std::uint64_t kPage4K = 4ULL << 10;
+inline constexpr std::uint64_t kPage1M = 1ULL << 20;
+inline constexpr std::uint64_t kPage16M = 16ULL << 20;
+inline constexpr std::uint64_t kPage256M = 256ULL << 20;
+inline constexpr std::uint64_t kPage1G = 1ULL << 30;
+
+constexpr std::uint64_t alignUp(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+constexpr std::uint64_t alignDown(std::uint64_t v, std::uint64_t a) {
+  return v & ~(a - 1);
+}
+
+}  // namespace bg::hw

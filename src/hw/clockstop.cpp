@@ -1,0 +1,28 @@
+#include "hw/clockstop.hpp"
+
+#include "hw/node.hpp"
+
+namespace bg::hw {
+
+bool ClockStop::armAt(sim::Cycle cycle, std::function<void()> onStop) {
+  if (armed_ || cycle < node_.engine().now()) return false;
+  armed_ = true;
+  fired_ = false;
+  event_ = node_.engine().scheduleAt(
+      cycle, [this, cb = std::move(onStop)] {
+        armed_ = false;
+        fired_ = true;
+        firedAt_ = node_.engine().now();
+        scan_ = node_.scanHash();
+        if (cb) cb();
+      });
+  return true;
+}
+
+void ClockStop::disarm() {
+  if (!armed_) return;
+  node_.engine().cancel(event_);
+  armed_ = false;
+}
+
+}  // namespace bg::hw

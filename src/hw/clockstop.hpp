@@ -1,0 +1,50 @@
+// Clock-Stop unit (paper §III): "BG/P provides 'Clock Stop' hardware
+// that assists the kernel in stopping on specific cycles."
+//
+// Arm it at an absolute cycle; when the machine reaches that cycle the
+// unit freezes the chip (no further events from this node's cores are
+// meaningful — the harness stops stepping) and captures a logic scan
+// of the architectural state. The paper's caveat is modeled too: the
+// unit is per-chip — coordinated multichip stops need the barrier
+// network (see bench_repro's multichip experiment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace bg::hw {
+
+class Node;
+
+class ClockStop {
+ public:
+  explicit ClockStop(Node& node) : node_(node) {}
+
+  /// Arm the unit to fire at an absolute cycle (must be in the
+  /// future). When it fires, the chip state is captured and the unit
+  /// records the scan; onStop (if any) runs at that exact cycle.
+  /// Returns false if already armed or the cycle is in the past.
+  bool armAt(sim::Cycle cycle, std::function<void()> onStop = nullptr);
+
+  /// Disarm a pending stop.
+  void disarm();
+
+  bool armed() const { return armed_; }
+  bool fired() const { return fired_; }
+  sim::Cycle firedAt() const { return firedAt_; }
+  /// The logic scan captured at the stop cycle.
+  std::uint64_t capturedScan() const { return scan_; }
+
+ private:
+  Node& node_;
+  bool armed_ = false;
+  bool fired_ = false;
+  sim::Cycle firedAt_ = 0;
+  std::uint64_t scan_ = 0;
+  sim::EventId event_ = 0;
+};
+
+}  // namespace bg::hw

@@ -1,0 +1,5 @@
+#include "hw/ddr.hpp"
+
+// Ddr is header-only today; this TU anchors the target and reserves a
+// home for future timing-model extensions (bank scheduling, open-page
+// policy) without touching the build graph.

@@ -1,0 +1,48 @@
+// DDR timing model: access latency, periodic refresh, self-refresh.
+//
+// Refresh matters for two reasons. First, it is the only deterministic
+// source of residual jitter on CNK (everything else is cycle-exact), so
+// the FWQ-on-CNK plot shows the paper's tiny <0.006% spread instead of
+// an implausible flat line. Second, self-refresh is the mechanism CNK
+// uses to preserve DRAM contents across a full chip reset in
+// reproducible mode (paper §III).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace bg::hw {
+
+struct DdrConfig {
+  sim::Cycle accessLatency = 60;      // L3-miss-to-DDR cycles
+  sim::Cycle refreshInterval = 6630;  // ~7.8us at 850MHz
+  sim::Cycle refreshDuration = 28;
+};
+
+class Ddr {
+ public:
+  explicit Ddr(const DdrConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Latency of an access issued at `now`, including any stall caused
+  /// by an in-progress refresh window. Purely a function of `now`, so
+  /// reproducible runs see identical stalls.
+  sim::Cycle accessLatency(sim::Cycle now) const {
+    const sim::Cycle phase = now % cfg_.refreshInterval;
+    const sim::Cycle stall =
+        phase < cfg_.refreshDuration ? cfg_.refreshDuration - phase : 0;
+    return cfg_.accessLatency + stall;
+  }
+
+  void enterSelfRefresh() { selfRefresh_ = true; }
+  void exitSelfRefresh() { selfRefresh_ = false; }
+  bool inSelfRefresh() const { return selfRefresh_; }
+
+  const DdrConfig& config() const { return cfg_; }
+
+ private:
+  DdrConfig cfg_;
+  bool selfRefresh_ = false;
+};
+
+}  // namespace bg::hw

@@ -1,0 +1,101 @@
+// Interfaces the hardware calls into: the kernel and the user runtime.
+//
+// Dependency direction: hw knows only these abstract interfaces; the
+// concrete CNK / FWK kernels (src/cnk, src/fwk) and the user-space
+// runtime (src/runtime, src/msg) implement them.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/addr.hpp"
+#include "hw/thread_ctx.hpp"
+#include "sim/types.hpp"
+
+namespace bg::hw {
+
+class Core;
+
+enum class Irq : std::uint8_t {
+  kDecrementer = 0,  // per-core timer (the FWK tick; CNK leaves it off)
+  kIpi,              // inter-processor interrupt (guard-page reposition)
+  kExternal,         // device: DMA/network completion
+  kMachineCheck,     // L1 parity error (RAS event, paper §V-B)
+};
+inline constexpr int kNumIrqs = 4;
+
+enum class FaultKind : std::uint8_t {
+  kSegv,         // no translation and the kernel could not resolve it
+  kPermFault,    // translation exists but permission denied
+  kDacHit,       // Debug Address Compare (guard page) trap
+  kMachineCheck, // parity machine check escalated to the thread
+};
+
+struct SyscallArgs {
+  std::int64_t nr = 0;
+  std::uint64_t arg[6] = {};
+};
+
+/// Outcome of a syscall / rtcall / interrupt handler.
+struct HandlerResult {
+  enum class Kind : std::uint8_t {
+    kDone,        // result valid; thread continues
+    kBlocked,     // thread is now Blocked; kernel will wake it later
+    kHaltThread,  // thread exited
+    kReschedule,  // thread still Ready but must come off the core now
+  };
+  Kind kind = Kind::kDone;
+  sim::Cycle cost = 0;
+  std::uint64_t result = 0;
+
+  static HandlerResult done(std::uint64_t r, sim::Cycle c) {
+    return {Kind::kDone, c, r};
+  }
+  static HandlerResult blocked(sim::Cycle c) { return {Kind::kBlocked, c, 0}; }
+  static HandlerResult halt(sim::Cycle c) { return {Kind::kHaltThread, c, 0}; }
+  static HandlerResult resched(sim::Cycle c) {
+    return {Kind::kReschedule, c, 0};
+  }
+};
+
+/// Kernel-side hooks invoked by a Core.
+class KernelIf {
+ public:
+  virtual ~KernelIf() = default;
+
+  virtual HandlerResult syscall(Core& core, ThreadCtx& t,
+                                const SyscallArgs& args) = 0;
+
+  /// TLB refill opportunity. kDone => translation installed (cost =
+  /// refill penalty, result unused); anything else => fault path taken.
+  virtual HandlerResult onTlbMiss(Core& core, ThreadCtx& t, VAddr va,
+                                  Access access) = 0;
+
+  /// Unrecoverable-by-refill fault (SEGV / perm / DAC / machine check).
+  /// The kernel may deliver a signal (adjusting t's pc) or kill t.
+  /// Returns handling cost.
+  virtual sim::Cycle onFault(Core& core, ThreadCtx& t, FaultKind kind,
+                             VAddr va) = 0;
+
+  /// Asynchronous interrupt taken at a slice boundary.
+  virtual HandlerResult onInterrupt(Core& core, Irq irq) = 0;
+
+  /// Pick the next thread for this core (nullptr => idle). Called when
+  /// the current thread blocks/halts or after kReschedule.
+  virtual ThreadCtx* pickNext(Core& core) = 0;
+
+  /// Notification that a thread halted (exit bookkeeping).
+  virtual void onThreadHalt(Core& core, ThreadCtx& t) = 0;
+
+  /// Context-switch cost charged when the core changes threads.
+  virtual sim::Cycle contextSwitchCost() const = 0;
+};
+
+/// User-space runtime dispatch (glibc/NPTL/DCMF analogues). RtCall ids
+/// are defined in runtime/rt_ids.hpp.
+class RuntimeIf {
+ public:
+  virtual ~RuntimeIf() = default;
+  virtual HandlerResult rtcall(Core& core, ThreadCtx& t, std::int64_t fnId) = 0;
+};
+
+}  // namespace bg::hw

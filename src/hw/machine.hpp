@@ -1,0 +1,77 @@
+// Machine assembly: compute nodes + I/O nodes wired to the three
+// networks, plus service-node style control (reset, boot ordering).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/barrier_net.hpp"
+#include "hw/collective.hpp"
+#include "hw/node.hpp"
+#include "hw/torus.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace bg::hw {
+
+/// I/O nodes share the network id space with compute nodes, offset so
+/// the two populations never collide.
+inline constexpr int kIoNodeIdBase = 100000;
+
+struct MachineConfig {
+  int computeNodes = 1;
+  int ioNodes = 1;
+  int computeNodesPerIoNode = 64;  // pset size (BG/P: 16..128)
+  NodeConfig node;
+  TorusConfig torus;              // dims default derived if {1,1,1}
+  CollectiveConfig collective;
+  BarrierConfig barrier;
+  std::uint64_t seed = 42;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  int numComputeNodes() const { return static_cast<int>(compute_.size()); }
+  int numIoNodes() const { return static_cast<int>(io_.size()); }
+  Node& node(int i) { return *compute_[static_cast<std::size_t>(i)]; }
+  Node& ioNode(int i) { return *io_[static_cast<std::size_t>(i)]; }
+
+  /// The I/O node serving a given compute node (pset mapping).
+  int ioNodeIndexFor(int computeNodeId) const {
+    return computeNodeId / cfg_.computeNodesPerIoNode % std::max(1, numIoNodes());
+  }
+  /// Network id of that I/O node.
+  int ioNodeNetIdFor(int computeNodeId) const {
+    return kIoNodeIdBase + ioNodeIndexFor(computeNodeId);
+  }
+
+  CollectiveNet& collective() { return collective_; }
+  TorusNet& torus() { return torus_; }
+  BarrierNet& barrier() { return barrier_; }
+
+  std::uint64_t seed() const { return cfg_.seed; }
+
+  /// Logic-scan digest over the whole machine at the current cycle.
+  std::uint64_t scanHash() const;
+
+ private:
+  static MachineConfig normalize(MachineConfig cfg);
+
+  MachineConfig cfg_;
+  sim::Engine engine_;
+  CollectiveNet collective_;
+  TorusNet torus_;
+  BarrierNet barrier_;
+  std::vector<std::unique_ptr<Node>> compute_;
+  std::vector<std::unique_ptr<Node>> io_;
+};
+
+}  // namespace bg::hw

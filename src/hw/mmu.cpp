@@ -1,0 +1,72 @@
+#include "hw/mmu.hpp"
+
+namespace bg::hw {
+
+TlbResult Mmu::translate(std::uint32_t pid, VAddr va, Access access,
+                         Translation* out) {
+  for (const TlbEntry& e : tlb_) {
+    if (e.covers(pid, va)) {
+      if (!permAllows(e.perms, access)) return TlbResult::kPermFault;
+      ++hits_;
+      if (out != nullptr) {
+        out->paddr = e.paddr + (va - e.vaddr);
+        out->perms = e.perms;
+      }
+      return TlbResult::kHit;
+    }
+  }
+  ++misses_;
+  return TlbResult::kMiss;
+}
+
+int Mmu::install(const TlbEntry& entry) {
+  // Prefer replacing an existing entry that maps the same page.
+  for (std::size_t i = 0; i < tlb_.size(); ++i) {
+    TlbEntry& e = tlb_[i];
+    if (e.valid && e.pid == entry.pid && e.vaddr == entry.vaddr &&
+        e.size == entry.size) {
+      e = entry;
+      return static_cast<int>(i);
+    }
+  }
+  for (std::size_t i = 0; i < tlb_.size(); ++i) {
+    if (!tlb_[i].valid) {
+      tlb_[i] = entry;
+      return static_cast<int>(i);
+    }
+  }
+  const int victim = nextVictim_;
+  nextVictim_ = (nextVictim_ + 1) % static_cast<int>(tlb_.size());
+  tlb_[victim] = entry;
+  return victim;
+}
+
+void Mmu::invalidate(std::uint32_t pid) {
+  for (TlbEntry& e : tlb_) {
+    if (pid == 0 || e.pid == pid) e.valid = false;
+  }
+}
+
+std::optional<Translation> Mmu::probe(std::uint32_t pid, VAddr va) const {
+  for (const TlbEntry& e : tlb_) {
+    if (e.covers(pid, va)) {
+      return Translation{e.paddr + (va - e.vaddr), e.perms};
+    }
+  }
+  return std::nullopt;
+}
+
+int Mmu::validCount() const {
+  int n = 0;
+  for (const TlbEntry& e : tlb_) n += e.valid ? 1 : 0;
+  return n;
+}
+
+bool Mmu::dacMatches(VAddr va, std::uint64_t len, Access a) const {
+  for (const DacRange& d : dac_) {
+    if (d.matches(va, len, a)) return true;
+  }
+  return false;
+}
+
+}  // namespace bg::hw

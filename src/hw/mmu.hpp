@@ -1,0 +1,99 @@
+// Software-managed MMU: TLB with variable page sizes + DAC registers.
+//
+// Models the PPC450-style software-loaded TLB that both kernels
+// program. CNK installs a *static* set of large-page entries at job
+// load and never takes a miss (paper §IV-C); the FWK refills 4KB
+// entries on demand. The Debug Address Compare (DAC) registers are the
+// mechanism CNK uses for stack guard pages (paper Fig 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/addr.hpp"
+
+namespace bg::hw {
+
+struct TlbEntry {
+  std::uint32_t pid = 0;  // address-space id; 0 matches nothing
+  VAddr vaddr = 0;        // page-aligned
+  PAddr paddr = 0;
+  std::uint64_t size = 0;  // page size in bytes (power of two)
+  std::uint8_t perms = kPermNone;
+  bool valid = false;
+
+  bool covers(std::uint32_t p, VAddr va) const {
+    return valid && pid == p && va >= vaddr && va - vaddr < size;
+  }
+};
+
+struct Translation {
+  PAddr paddr;
+  std::uint8_t perms;
+};
+
+enum class TlbResult : std::uint8_t { kHit, kMiss, kPermFault };
+
+/// A Debug Address Compare register pair: raises a debug exception when
+/// a data access falls inside [lo, hi). CNK points one at the stack
+/// guard range of the thread running on the core.
+struct DacRange {
+  bool enabled = false;
+  VAddr lo = 0;
+  VAddr hi = 0;
+  bool onWrite = true;
+  bool onRead = true;
+
+  bool matches(VAddr va, std::uint64_t len, Access a) const {
+    if (!enabled) return false;
+    if (a == Access::kWrite && !onWrite) return false;
+    if (a == Access::kRead && !onRead) return false;
+    return va < hi && va + len > lo;
+  }
+};
+
+class Mmu {
+ public:
+  explicit Mmu(int tlbEntries = 64) : tlb_(tlbEntries) {}
+
+  /// Look up a translation. On kHit, *out is filled. Updates round-robin
+  /// reference info for replacement.
+  TlbResult translate(std::uint32_t pid, VAddr va, Access access,
+                      Translation* out);
+
+  /// Install an entry (kernel-privileged). Replaces an invalid slot if
+  /// any, otherwise evicts round-robin. Returns slot index.
+  int install(const TlbEntry& entry);
+
+  /// Invalidate all entries for a pid (or all if pid == 0).
+  void invalidate(std::uint32_t pid = 0);
+
+  /// Probe whether a translation exists (no fault side effects).
+  std::optional<Translation> probe(std::uint32_t pid, VAddr va) const;
+
+  int entryCount() const { return static_cast<int>(tlb_.size()); }
+  int validCount() const;
+  std::uint64_t missCount() const { return misses_; }
+  std::uint64_t hitCount() const { return hits_; }
+  void resetCounters() { misses_ = hits_ = 0; }
+
+  // DAC registers (2 pairs, as on the 450 core).
+  static constexpr int kNumDac = 2;
+  DacRange& dac(int i) { return dac_[i]; }
+  const DacRange& dac(int i) const { return dac_[i]; }
+
+  /// True if any DAC range traps this access.
+  bool dacMatches(VAddr va, std::uint64_t len, Access a) const;
+
+  const std::vector<TlbEntry>& entries() const { return tlb_; }
+
+ private:
+  std::vector<TlbEntry> tlb_;
+  DacRange dac_[kNumDac];
+  int nextVictim_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace bg::hw

@@ -1,0 +1,40 @@
+#include "hw/node.hpp"
+
+#include "sim/hash.hpp"
+
+namespace bg::hw {
+
+Node::Node(sim::Engine& engine, int id, const NodeConfig& cfg)
+    : engine_(engine), id_(id), cfg_(cfg), mem_(cfg.memBytes),
+      ddr_(cfg.ddr), l3_(cfg.l3) {
+  cores_.reserve(static_cast<std::size_t>(cfg.cores));
+  for (int i = 0; i < cfg.cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, *this));
+  }
+}
+
+void Node::prepareForReset() {
+  for (auto& c : cores_) c->flushCaches();
+  l3_.flushAll();
+  ddr_.enterSelfRefresh();
+  mem_.enterSelfRefresh();
+}
+
+void Node::restartFromSelfRefresh() {
+  ddr_.exitSelfRefresh();
+  mem_.exitSelfRefresh();
+  for (auto& c : cores_) {
+    c->flushCaches();
+    c->mmu().invalidate();
+  }
+}
+
+std::uint64_t Node::scanHash() const {
+  sim::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(id_));
+  for (const auto& c : cores_) h.mix(c->scanHash());
+  h.mix(ddr_.inSelfRefresh() ? 1 : 0);
+  return h.digest();
+}
+
+}  // namespace bg::hw

@@ -1,0 +1,94 @@
+// A Blue Gene-style System-On-a-Chip node: cores, memory hierarchy,
+// and taps onto the machine-wide networks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/cache.hpp"
+#include "hw/core.hpp"
+#include "hw/ddr.hpp"
+#include "hw/kernel_if.hpp"
+#include "hw/phys_mem.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace bg::hw {
+
+class CollectiveNet;
+class TorusNet;
+class BarrierNet;
+
+struct NodeConfig {
+  int cores = 4;                          // BG/P: quad PPC450
+  std::uint64_t memBytes = 512ULL << 20;  // simulated DDR size
+  SharedCacheConfig l3;
+  DdrConfig ddr;
+  std::uint64_t bootSramBytes = 64ULL << 10;
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, int id, const NodeConfig& cfg);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  int id() const { return id_; }
+  const NodeConfig& config() const { return cfg_; }
+
+  PhysMem& mem() { return mem_; }
+  Ddr& ddr() { return ddr_; }
+  SharedCache& l3() { return l3_; }
+  Core& core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+  int numCores() const { return static_cast<int>(cores_.size()); }
+
+  KernelIf* kernel() { return kernel_; }
+  void attachKernel(KernelIf* k) { kernel_ = k; }
+  RuntimeIf* runtime() { return runtime_; }
+  void attachRuntime(RuntimeIf* r) { runtime_ = r; }
+
+  sim::TraceBuffer& trace() { return trace_; }
+
+  CollectiveNet* collective() { return collective_; }
+  void attachCollective(CollectiveNet* n) { collective_ = n; }
+  TorusNet* torus() { return torus_; }
+  void attachTorus(TorusNet* n) { torus_ = n; }
+  BarrierNet* barrier() { return barrier_; }
+  void attachBarrier(BarrierNet* n) { barrier_ = n; }
+
+  std::array<int, 3> coords{0, 0, 0};
+
+  /// Send an inter-processor interrupt to a core on this node.
+  void sendIpi(int coreId) { core(coreId).raise(Irq::kIpi); }
+
+  /// Reproducible-reset support (paper §III): flush all caches to DDR,
+  /// put DDR into self-refresh. The kernel performs the core rendezvous
+  /// before calling this.
+  void prepareForReset();
+  /// Take DDR out of self-refresh and clear volatile chip state.
+  void restartFromSelfRefresh();
+
+  /// Architectural state digest: all cores + L3/DDR flags. Used as the
+  /// per-cycle "logic scan" witness.
+  std::uint64_t scanHash() const;
+
+ private:
+  sim::Engine& engine_;
+  int id_;
+  NodeConfig cfg_;
+  PhysMem mem_;
+  Ddr ddr_;
+  SharedCache l3_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  sim::TraceBuffer trace_;
+  KernelIf* kernel_ = nullptr;
+  RuntimeIf* runtime_ = nullptr;
+  CollectiveNet* collective_ = nullptr;
+  TorusNet* torus_ = nullptr;
+  BarrierNet* barrier_ = nullptr;
+};
+
+}  // namespace bg::hw

@@ -1,0 +1,82 @@
+// Hardware-level thread context: what a core needs to run a thread.
+//
+// Kernel-side thread objects (bg::kernel::Thread) own one of these;
+// the core only ever sees the ThreadCtx.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace bg::hw {
+
+enum class ThreadState : std::uint8_t {
+  kReady,    // runnable, not currently on a core
+  kRunning,  // bound to a core and executing
+  kBlocked,  // waiting (futex, I/O reply, DMA, join, ...)
+  kHalted,   // exited
+  kFaulted,  // killed by an unhandled fault
+};
+
+struct SavedFrame {
+  std::uint64_t pc;
+  std::uint64_t regs[vm::kNumRegs];
+};
+
+struct ThreadCtx {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+
+  std::uint64_t regs[vm::kNumRegs] = {};
+  std::uint64_t pc = 0;
+  const vm::Program* prog = nullptr;
+
+  ThreadState state = ThreadState::kReady;
+  int coreAffinity = -1;  // hardware core this thread is pinned/assigned to
+
+  /// If true, a block (futex/yield) lets the core switch to a sibling
+  /// thread; if false (CNK I/O syscalls) the core spins in-kernel.
+  bool yieldOnBlock = true;
+
+  std::int64_t exitStatus = 0;
+
+  /// Host-visible sample sink for the kSample instruction (no simulated
+  /// cost beyond the instruction itself). Owned by the experiment
+  /// harness; may be null.
+  std::vector<std::uint64_t>* samples = nullptr;
+
+  /// Signal-frame stack for nested handler execution.
+  std::vector<SavedFrame> sigStack;
+
+  /// Opaque pointer back to the owning kernel thread object.
+  void* owner = nullptr;
+
+  /// Cumulative retired-instruction count (metrics/debug).
+  std::uint64_t instrRetired = 0;
+
+  bool runnable() const {
+    return state == ThreadState::kReady || state == ThreadState::kRunning;
+  }
+  bool done() const {
+    return state == ThreadState::kHalted || state == ThreadState::kFaulted;
+  }
+
+  void pushSignalFrame() {
+    SavedFrame f;
+    f.pc = pc;
+    for (int i = 0; i < vm::kNumRegs; ++i) f.regs[i] = regs[i];
+    sigStack.push_back(f);
+  }
+  /// Returns false if there was no frame to pop.
+  bool popSignalFrame() {
+    if (sigStack.empty()) return false;
+    const SavedFrame& f = sigStack.back();
+    pc = f.pc;
+    for (int i = 0; i < vm::kNumRegs; ++i) regs[i] = f.regs[i];
+    sigStack.pop_back();
+    return true;
+  }
+};
+
+}  // namespace bg::hw

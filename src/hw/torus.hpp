@@ -1,0 +1,96 @@
+// 3-D torus network with a per-node DMA engine.
+//
+// The torus is the point-to-point fabric DCMF drives *from user space*
+// (paper §V-C): the kernel's only involvement is having set up the
+// static physical mapping that lets the application hand physical
+// addresses to the DMA. dmaPut/dmaGet move real bytes between nodes'
+// physical memories. Links are dimension-order routed with per-link
+// serialization, so near-neighbour exchanges saturate per-link
+// bandwidth the way Fig 8 shows.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/addr.hpp"
+#include "sim/engine.hpp"
+#include "sim/types.hpp"
+
+namespace bg::hw {
+
+class Node;
+
+struct TorusConfig {
+  std::array<int, 3> dims{1, 1, 1};
+  sim::Cycle hopLatency = 85;     // ~100ns per hop at 850MHz
+  double bytesPerCycle = 0.5;     // 425MB/s per link at 850MHz
+  sim::Cycle dmaInjectCost = 180; // descriptor processing at the source
+  sim::Cycle dmaRecvCost = 120;   // reception FIFO processing
+};
+
+/// Small control/eager packet delivered to the destination node's
+/// registered handler (the messaging runtime).
+struct TorusPacket {
+  int srcNode = 0;
+  int dstNode = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class TorusNet {
+ public:
+  using PacketHandler = std::function<void(TorusPacket&&)>;
+
+  TorusNet(sim::Engine& engine, const TorusConfig& cfg)
+      : engine_(engine), cfg_(cfg) {}
+
+  /// Register a node (gives the net access to its physical memory for
+  /// DMA) and assign its coordinates from its id.
+  void attachNode(int nodeId, Node* node);
+
+  void setPacketHandler(int nodeId, PacketHandler h) {
+    handlers_[nodeId] = std::move(h);
+  }
+
+  /// Memory-mapped eager/control packet send (no kernel involvement).
+  void sendPacket(TorusPacket packet);
+
+  /// Remote write: copy `bytes` from srcNode:srcPa to dstNode:dstPa.
+  /// onRemoteDelivered fires at the destination when the payload has
+  /// landed; onLocalComplete fires at the source when its injection
+  /// FIFO drains (the "message sent" completion counter).
+  void dmaPut(int srcNode, PAddr srcPa, int dstNode, PAddr dstPa,
+              std::uint64_t bytes, std::function<void()> onRemoteDelivered,
+              std::function<void()> onLocalComplete);
+
+  /// Remote read: fetch `bytes` from dstNode:remotePa into
+  /// srcNode:localPa. Completion fires at the requester.
+  void dmaGet(int srcNode, PAddr localPa, int dstNode, PAddr remotePa,
+              std::uint64_t bytes, std::function<void()> onComplete);
+
+  int hops(int a, int b) const;
+  const TorusConfig& config() const { return cfg_; }
+  sim::Engine& engine() { return engine_; }
+  std::uint64_t bytesMoved() const { return bytesMoved_; }
+
+ private:
+  std::array<int, 3> coordsOf(int nodeId) const;
+  /// Reserve the dimension-order route; returns (start, arrive) cycles.
+  std::pair<sim::Cycle, sim::Cycle> reserveRoute(int src, int dst,
+                                                 std::uint64_t bytes);
+
+  sim::Engine& engine_;
+  TorusConfig cfg_;
+  std::unordered_map<int, Node*> nodes_;
+  std::unordered_map<int, PacketHandler> handlers_;
+  // Directed link key: (nodeId << 3) | (dim << 1) | direction.
+  std::unordered_map<std::uint64_t, sim::Cycle> linkBusyUntil_;
+  std::uint64_t bytesMoved_ = 0;
+};
+
+}  // namespace bg::hw

@@ -1,0 +1,135 @@
+#include "io/ciod.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernel/syscalls.hpp"
+
+namespace bg::io {
+
+Ciod::Ciod(hw::Node& ioNode, Vfs& vfs, sim::Cycle perOpOverhead)
+    : ioNode_(ioNode), vfs_(vfs), perOpOverhead_(perOpOverhead) {
+  ioNode_.collective()->setHandler(
+      ioNode_.id(), [this](hw::CollPacket&& pkt) { onPacket(std::move(pkt)); });
+}
+
+IoProxy& Ciod::proxyFor(std::int32_t cnNode, std::uint32_t pid) {
+  auto key = std::make_pair(cnNode, pid);
+  auto it = proxies_.find(key);
+  if (it == proxies_.end()) {
+    it = proxies_
+             .emplace(key, std::make_unique<IoProxy>(vfs_, ioNode_.engine()))
+             .first;
+  }
+  return *it->second;
+}
+
+std::size_t Ciod::proxyThreadCount() const {
+  std::size_t n = 0;
+  for (const auto& [k, p] : proxies_) n += p->proxyThreads();
+  return n;
+}
+
+void Ciod::onPacket(hw::CollPacket&& pkt) {
+  if (pkt.channel != kChanFshipRequest) return;
+  auto req = FsRequest::decode(pkt.payload);
+  if (!req) {
+    ++stats_.errors;
+    return;
+  }
+  ++stats_.requests;
+  stats_.bytesIn += pkt.payload.size();
+  serve(*req);
+}
+
+void Ciod::serve(const FsRequest& req) {
+  IoProxy& proxy = proxyFor(req.srcNode, req.pid);
+  VfsClient& c = proxy.client();
+
+  FsReply rep;
+  rep.seq = req.seq;
+  rep.srcNode = req.srcNode;
+  rep.pid = req.pid;
+  rep.tid = req.tid;
+
+  // The ioproxy performs the actual Linux system call; result codes
+  // and filesystem nuances come straight from the VFS (paper §IV-A:
+  // "the calls produce the same result codes, network filesystem
+  // nuances, etc.").
+  switch (req.op) {
+    case FsOp::kOpen:
+      rep.result = c.open(req.path, req.a0);
+      break;
+    case FsOp::kClose:
+      rep.result = c.close(static_cast<int>(req.a0));
+      break;
+    case FsOp::kRead: {
+      rep.payload.resize(req.a1);
+      rep.result = c.read(static_cast<int>(req.a0), rep.payload);
+      rep.payload.resize(rep.result > 0
+                             ? static_cast<std::size_t>(rep.result)
+                             : 0);
+      break;
+    }
+    case FsOp::kWrite:
+      rep.result = c.write(static_cast<int>(req.a0), req.payload);
+      break;
+    case FsOp::kLseek:
+      rep.result = c.lseek(static_cast<int>(req.a0),
+                           static_cast<std::int64_t>(req.a1), req.a2);
+      break;
+    case FsOp::kStat: {
+      FileStat st;
+      rep.result = c.stat(req.path, &st);
+      if (rep.result == 0) {
+        rep.payload.resize(sizeof(FileStat));
+        std::memcpy(rep.payload.data(), &st, sizeof st);
+      }
+      break;
+    }
+    case FsOp::kUnlink:
+      rep.result = c.unlink(req.path);
+      break;
+    case FsOp::kMkdir:
+      rep.result = c.mkdir(req.path);
+      break;
+    case FsOp::kChdir:
+      rep.result = c.chdir(req.path);
+      break;
+    case FsOp::kGetcwd: {
+      const std::string& cwd = c.cwd();
+      rep.result = static_cast<std::int64_t>(cwd.size() + 1);
+      rep.payload.resize(cwd.size() + 1);
+      std::memcpy(rep.payload.data(), cwd.c_str(), cwd.size() + 1);
+      break;
+    }
+    case FsOp::kDup:
+      rep.result = c.dup(static_cast<int>(req.a0));
+      break;
+  }
+  if (rep.result < 0) ++stats_.errors;
+
+  // Serialize per proxy thread: the dedicated proxy thread for this
+  // compute thread finishes its previous op first.
+  sim::Engine& eng = ioNode_.engine();
+  sim::Cycle& busy = proxy.threadBusyUntil(req.tid);
+  const sim::Cycle start = std::max(eng.now(), busy);
+  const sim::Cycle done = start + perOpOverhead_ + c.lastLatency();
+  busy = done;
+
+  auto bytes = rep.encode();
+  stats_.bytesOut += bytes.size();
+  const int dst = rep.srcNode;
+  const int self = ioNode_.id();
+  hw::CollectiveNet* net = ioNode_.collective();
+  eng.scheduleAt(done, [net, self, dst, bytes = std::move(bytes)]() mutable {
+    hw::CollPacket out;
+    out.srcNode = self;
+    out.dstNode = dst;
+    out.channel = kChanFshipReply;
+    out.payload = std::move(bytes);
+    net->send(std::move(out));
+  });
+}
+
+}  // namespace bg::io

@@ -1,0 +1,71 @@
+// CIOD: the Control and I/O Daemon running on an I/O node, plus its
+// per-compute-process ioproxies (paper §IV-A, Fig 2).
+//
+// Each compute-node process has a dedicated ioproxy whose filesystem
+// state (fd table with seek offsets, cwd) mirrors the CNK process's
+// state; each thread of the process has a dedicated proxy thread,
+// modelled as an independent service timeline per (pid, tid) so
+// operations from different threads of one process can overlap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "hw/collective.hpp"
+#include "hw/node.hpp"
+#include "io/protocol.hpp"
+#include "io/vfs.hpp"
+
+namespace bg::io {
+
+struct CiodStats {
+  std::uint64_t requests = 0;
+  std::uint64_t bytesIn = 0;
+  std::uint64_t bytesOut = 0;
+  std::uint64_t errors = 0;
+};
+
+class IoProxy {
+ public:
+  IoProxy(Vfs& vfs, sim::Engine& engine) : client_(vfs, engine) {}
+
+  VfsClient& client() { return client_; }
+  sim::Cycle& threadBusyUntil(std::uint32_t tid) { return busy_[tid]; }
+  std::size_t proxyThreads() const { return busy_.size(); }
+
+ private:
+  VfsClient client_;
+  std::map<std::uint32_t, sim::Cycle> busy_;
+};
+
+class Ciod {
+ public:
+  /// Attaches to the I/O node's collective tap and serves requests
+  /// against the given VFS. `perOpOverhead` models CIOD's shared-buffer
+  /// handoff plus the Linux syscall made by the ioproxy.
+  Ciod(hw::Node& ioNode, Vfs& vfs, sim::Cycle perOpOverhead = 4200);
+
+  const CiodStats& stats() const { return stats_; }
+  /// Number of live ioproxies == number of compute processes served.
+  std::size_t proxyCount() const { return proxies_.size(); }
+  /// Total dedicated proxy threads across all proxies.
+  std::size_t proxyThreadCount() const;
+
+  hw::Node& ioNode() { return ioNode_; }
+
+ private:
+  void onPacket(hw::CollPacket&& pkt);
+  void serve(const FsRequest& req);
+  IoProxy& proxyFor(std::int32_t cnNode, std::uint32_t pid);
+
+  hw::Node& ioNode_;
+  Vfs& vfs_;
+  sim::Cycle perOpOverhead_;
+  // Keyed by (compute node id, pid).
+  std::map<std::pair<std::int32_t, std::uint32_t>, std::unique_ptr<IoProxy>>
+      proxies_;
+  CiodStats stats_;
+};
+
+}  // namespace bg::io

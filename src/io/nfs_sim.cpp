@@ -1,0 +1,3 @@
+#include "io/nfs_sim.hpp"
+
+// NfsSim is header-only; this TU anchors the build target.

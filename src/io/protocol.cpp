@@ -1,0 +1,119 @@
+#include "io/protocol.hpp"
+
+#include <cstring>
+
+namespace bg::io {
+
+namespace {
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(const std::vector<std::byte>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> buf) : buf_(buf) {}
+
+  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
+  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
+  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
+  bool i64(std::int64_t* v) { return raw(v, sizeof *v); }
+  bool str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!u32(&n) || buf_.size() - pos_ < n) return false;
+    s->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool bytes(std::vector<std::byte>* b) {
+    std::uint32_t n = 0;
+    if (!u32(&n) || buf_.size() - pos_ < n) return false;
+    b->assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (buf_.size() - pos_ < n) return false;
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> FsRequest::encode() const {
+  Writer w;
+  w.u64(seq);
+  w.i32(srcNode);
+  w.u32(pid);
+  w.u32(tid);
+  w.u32(static_cast<std::uint32_t>(op));
+  w.u64(a0);
+  w.u64(a1);
+  w.u64(a2);
+  w.str(path);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<FsRequest> FsRequest::decode(std::span<const std::byte> buf) {
+  FsRequest r;
+  Reader rd(buf);
+  std::uint32_t op = 0;
+  if (!rd.u64(&r.seq) || !rd.i32(&r.srcNode) || !rd.u32(&r.pid) ||
+      !rd.u32(&r.tid) || !rd.u32(&op) || !rd.u64(&r.a0) || !rd.u64(&r.a1) ||
+      !rd.u64(&r.a2) || !rd.str(&r.path) || !rd.bytes(&r.payload)) {
+    return std::nullopt;
+  }
+  r.op = static_cast<FsOp>(op);
+  return r;
+}
+
+std::vector<std::byte> FsReply::encode() const {
+  Writer w;
+  w.u64(seq);
+  w.i32(srcNode);
+  w.u32(pid);
+  w.u32(tid);
+  w.i64(result);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<FsReply> FsReply::decode(std::span<const std::byte> buf) {
+  FsReply r;
+  Reader rd(buf);
+  if (!rd.u64(&r.seq) || !rd.i32(&r.srcNode) || !rd.u32(&r.pid) ||
+      !rd.u32(&r.tid) || !rd.i64(&r.result) || !rd.bytes(&r.payload)) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+}  // namespace bg::io

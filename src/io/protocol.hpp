@@ -1,0 +1,63 @@
+// The CNK <-> CIOD function-shipping wire protocol (paper Fig 2).
+//
+// Requests and replies are really marshalled to byte vectors and
+// carried over the collective-network model; nothing is passed by
+// host pointer. A write() request carries the user's buffer bytes, a
+// read() reply carries the data that lands back in user memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bg::io {
+
+enum class FsOp : std::uint32_t {
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kLseek,
+  kStat,
+  kUnlink,
+  kMkdir,
+  kChdir,
+  kGetcwd,
+  kDup,
+};
+
+/// Collective-network channel tags.
+inline constexpr std::uint32_t kChanFshipRequest = 1;
+inline constexpr std::uint32_t kChanFshipReply = 2;
+
+struct FsRequest {
+  std::uint64_t seq = 0;
+  std::int32_t srcNode = 0;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  FsOp op = FsOp::kOpen;
+  std::uint64_t a0 = 0;  // fd / flags / whence ...
+  std::uint64_t a1 = 0;  // count / offset ...
+  std::uint64_t a2 = 0;
+  std::string path;                // for path-based ops
+  std::vector<std::byte> payload;  // write data
+
+  std::vector<std::byte> encode() const;
+  static std::optional<FsRequest> decode(std::span<const std::byte> buf);
+};
+
+struct FsReply {
+  std::uint64_t seq = 0;
+  std::int32_t srcNode = 0;  // compute node the reply returns to
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::int64_t result = 0;
+  std::vector<std::byte> payload;  // read data / getcwd string
+
+  std::vector<std::byte> encode() const;
+  static std::optional<FsReply> decode(std::span<const std::byte> buf);
+};
+
+}  // namespace bg::io

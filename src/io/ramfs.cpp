@@ -1,0 +1,129 @@
+#include "io/ramfs.hpp"
+
+#include <algorithm>
+
+#include "kernel/syscalls.hpp"
+
+namespace bg::io {
+
+using namespace bg::kernel;
+
+std::int64_t RamFs::open(const std::string& path, std::uint64_t flags) {
+  const std::string p = normalizePath(path);
+  auto it = files_.find(p);
+  if (it == files_.end()) {
+    if ((flags & kOCreat) == 0) return -kENOENT;
+    if (dirs_.contains(p)) return -kEISDIR;
+    // Parent directory must exist (the root always does).
+    const auto slash = p.find_last_of('/');
+    const std::string parent = slash == 0 ? "/" : p.substr(0, slash);
+    if (!dirs_.contains(parent)) return -kENOENT;
+    it = files_.emplace(p, std::make_shared<File>()).first;
+  } else if (flags & kOTrunc) {
+    it->second->data.clear();
+  }
+  if (dirs_.contains(p)) return -kEISDIR;
+  const std::int64_t h = nextHandle_++;
+  handles_[h] = it->second;
+  ++it->second->openCount;
+  return h;
+}
+
+std::int64_t RamFs::close(std::int64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return -kEBADF;
+  --it->second->openCount;
+  handles_.erase(it);
+  return 0;
+}
+
+std::int64_t RamFs::pread(std::int64_t handle, std::span<std::byte> out,
+                          std::uint64_t offset) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return -kEBADF;
+  const auto& data = it->second->data;
+  if (offset >= data.size()) return 0;
+  const std::size_t n =
+      std::min<std::size_t>(out.size(), data.size() - offset);
+  std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(offset), n,
+              out.begin());
+  return static_cast<std::int64_t>(n);
+}
+
+std::int64_t RamFs::pwrite(std::int64_t handle, std::span<const std::byte> in,
+                           std::uint64_t offset) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return -kEBADF;
+  auto& data = it->second->data;
+  if (offset + in.size() > data.size()) data.resize(offset + in.size());
+  std::copy(in.begin(), in.end(),
+            data.begin() + static_cast<std::ptrdiff_t>(offset));
+  return static_cast<std::int64_t>(in.size());
+}
+
+std::int64_t RamFs::stat(const std::string& path, FileStat* out) {
+  const std::string p = normalizePath(path);
+  if (dirs_.contains(p)) {
+    if (out != nullptr) *out = FileStat{0, true};
+    return 0;
+  }
+  auto it = files_.find(p);
+  if (it == files_.end()) return -kENOENT;
+  if (out != nullptr) *out = FileStat{it->second->data.size(), false};
+  return 0;
+}
+
+std::int64_t RamFs::unlink(const std::string& path) {
+  const std::string p = normalizePath(path);
+  if (dirs_.contains(p)) return -kEISDIR;
+  auto it = files_.find(p);
+  if (it == files_.end()) return -kENOENT;
+  files_.erase(it);  // open handles keep the shared_ptr alive
+  return 0;
+}
+
+std::int64_t RamFs::mkdir(const std::string& path) {
+  const std::string p = normalizePath(path);
+  if (dirs_.contains(p) || files_.contains(p)) return -kEEXIST;
+  const auto slash = p.find_last_of('/');
+  const std::string parent = slash == 0 ? "/" : p.substr(0, slash);
+  if (!dirs_.contains(parent)) return -kENOENT;
+  dirs_.insert(p);
+  return 0;
+}
+
+std::int64_t RamFs::fileSize(std::int64_t handle) {
+  auto it = handles_.find(handle);
+  if (it == handles_.end()) return -kEBADF;
+  return static_cast<std::int64_t>(it->second->data.size());
+}
+
+sim::Cycle RamFs::opLatency(FsOpKind op, std::uint64_t bytes, sim::Cycle) {
+  // Local page-cache speeds: a couple of microseconds per op plus
+  // memory-copy time.
+  switch (op) {
+    case FsOpKind::kRead:
+    case FsOpKind::kWrite:
+      return 1700 + bytes / 4;
+    default:
+      return 1700;
+  }
+}
+
+void RamFs::putFile(const std::string& path, std::vector<std::byte> contents) {
+  auto f = std::make_shared<File>();
+  f->data = std::move(contents);
+  files_[normalizePath(path)] = std::move(f);
+}
+
+std::vector<std::byte> RamFs::fileContents(const std::string& path) const {
+  auto it = files_.find(normalizePath(path));
+  return it == files_.end() ? std::vector<std::byte>{} : it->second->data;
+}
+
+bool RamFs::exists(const std::string& path) const {
+  const std::string p = normalizePath(path);
+  return files_.contains(p) || dirs_.contains(p);
+}
+
+}  // namespace bg::io

@@ -1,0 +1,213 @@
+#include "io/vfs.hpp"
+
+#include <algorithm>
+
+#include "kernel/syscalls.hpp"
+
+namespace bg::io {
+
+using kernel::kEBADF;
+using kernel::kEINVAL;
+using kernel::kENOENT;
+
+std::string normalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty() || cur == ".") {
+      // skip
+    } else if (cur == "..") {
+      if (!parts.empty()) parts.pop_back();
+    } else {
+      parts.push_back(cur);
+    }
+    cur.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  std::string out = "/";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    out += parts[i];
+    if (i + 1 < parts.size()) out += "/";
+  }
+  return out;
+}
+
+void Vfs::mount(std::string prefix, std::shared_ptr<FsBackend> backend) {
+  mounts_.emplace_back(normalizePath(prefix), std::move(backend));
+  std::sort(mounts_.begin(), mounts_.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+}
+
+std::optional<Vfs::Resolved> Vfs::resolve(const std::string& absPath) const {
+  const std::string p = normalizePath(absPath);
+  for (const auto& [prefix, backend] : mounts_) {
+    if (p == prefix) return Resolved{backend.get(), "/"};
+    const std::string pfx = prefix == "/" ? "" : prefix;
+    if (p.size() > pfx.size() && p.compare(0, pfx.size(), pfx) == 0 &&
+        p[pfx.size()] == '/') {
+      return Resolved{backend.get(), p.substr(pfx.size())};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string VfsClient::absolutize(const std::string& path) const {
+  if (!path.empty() && path[0] == '/') return normalizePath(path);
+  return normalizePath(cwd_ + "/" + path);
+}
+
+VfsClient::OpenFile* VfsClient::fdGet(int fd) {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : it->second.get();
+}
+
+int VfsClient::fdAlloc() { return nextFd_++; }
+
+std::int64_t VfsClient::open(const std::string& path, std::uint64_t flags) {
+  const std::string abs = absolutize(path);
+  auto res = vfs_.resolve(abs);
+  if (!res) {
+    lastLatency_ = 200;
+    return -kENOENT;
+  }
+  const std::int64_t h = res->backend->open(res->relPath, flags);
+  lastLatency_ = res->backend->opLatency(FsOpKind::kOpen, 0, engine_.now());
+  if (h < 0) return h;
+  const int fd = fdAlloc();
+  std::uint64_t offset = 0;
+  if (flags & kernel::kOAppend) {
+    const std::int64_t sz = res->backend->fileSize(h);
+    if (sz > 0) offset = static_cast<std::uint64_t>(sz);
+  }
+  fds_[fd] = std::make_shared<OpenFile>(
+      OpenFile{res->backend, h, offset, flags});
+  return fd;
+}
+
+std::int64_t VfsClient::close(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    lastLatency_ = 100;
+    return -kEBADF;
+  }
+  std::shared_ptr<OpenFile> f = std::move(it->second);
+  fds_.erase(it);
+  lastLatency_ = f->backend->opLatency(FsOpKind::kClose, 0, engine_.now());
+  if (f.use_count() == 1) {
+    // Last fd on this description: release the backend handle.
+    f->backend->close(f->handle);
+  }
+  return 0;
+}
+
+std::int64_t VfsClient::read(int fd, std::span<std::byte> out) {
+  OpenFile* f = fdGet(fd);
+  if (f == nullptr) {
+    lastLatency_ = 100;
+    return -kEBADF;
+  }
+  const std::int64_t n = f->backend->pread(f->handle, out, f->offset);
+  lastLatency_ = f->backend->opLatency(FsOpKind::kRead,
+                                       n > 0 ? static_cast<std::uint64_t>(n) : 0,
+                                       engine_.now());
+  if (n > 0) f->offset += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::int64_t VfsClient::write(int fd, std::span<const std::byte> in) {
+  OpenFile* f = fdGet(fd);
+  if (f == nullptr) {
+    lastLatency_ = 100;
+    return -kEBADF;
+  }
+  const std::int64_t n = f->backend->pwrite(f->handle, in, f->offset);
+  lastLatency_ = f->backend->opLatency(FsOpKind::kWrite,
+                                       n > 0 ? static_cast<std::uint64_t>(n) : 0,
+                                       engine_.now());
+  if (n > 0) f->offset += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::int64_t VfsClient::lseek(int fd, std::int64_t offset,
+                              std::uint64_t whence) {
+  OpenFile* f = fdGet(fd);
+  lastLatency_ = 120;
+  if (f == nullptr) return -kEBADF;
+  std::int64_t base = 0;
+  switch (whence) {
+    case kernel::kSeekSet: base = 0; break;
+    case kernel::kSeekCur: base = static_cast<std::int64_t>(f->offset); break;
+    case kernel::kSeekEnd: base = f->backend->fileSize(f->handle); break;
+    default: return -kEINVAL;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) return -kEINVAL;
+  f->offset = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+std::int64_t VfsClient::stat(const std::string& path, FileStat* out) {
+  const std::string abs = absolutize(path);
+  auto res = vfs_.resolve(abs);
+  if (!res) {
+    lastLatency_ = 200;
+    return -kENOENT;
+  }
+  lastLatency_ = res->backend->opLatency(FsOpKind::kStat, 0, engine_.now());
+  return res->backend->stat(res->relPath, out);
+}
+
+std::int64_t VfsClient::unlink(const std::string& path) {
+  const std::string abs = absolutize(path);
+  auto res = vfs_.resolve(abs);
+  if (!res) {
+    lastLatency_ = 200;
+    return -kENOENT;
+  }
+  lastLatency_ = res->backend->opLatency(FsOpKind::kUnlink, 0, engine_.now());
+  return res->backend->unlink(res->relPath);
+}
+
+std::int64_t VfsClient::mkdir(const std::string& path) {
+  const std::string abs = absolutize(path);
+  auto res = vfs_.resolve(abs);
+  if (!res) {
+    lastLatency_ = 200;
+    return -kENOENT;
+  }
+  lastLatency_ = res->backend->opLatency(FsOpKind::kMkdir, 0, engine_.now());
+  return res->backend->mkdir(res->relPath);
+}
+
+std::int64_t VfsClient::dup(int fd) {
+  auto it = fds_.find(fd);
+  lastLatency_ = 120;
+  if (it == fds_.end()) return -kEBADF;
+  const int nfd = fdAlloc();
+  fds_[nfd] = it->second;  // shared description: offset and handle
+  return nfd;
+}
+
+std::int64_t VfsClient::chdir(const std::string& path) {
+  const std::string abs = absolutize(path);
+  auto res = vfs_.resolve(abs);
+  lastLatency_ = 150;
+  if (!res) return -kENOENT;
+  FileStat st;
+  const std::int64_t rc = res->backend->stat(res->relPath, &st);
+  if (rc < 0) return rc;
+  if (!st.isDir) return -kernel::kENOTDIR;
+  cwd_ = abs;
+  return 0;
+}
+
+}  // namespace bg::io

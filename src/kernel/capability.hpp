@@ -1,0 +1,41 @@
+// Capability/difficulty registry behind paper Tables II and III.
+//
+// Each kernel declares, in code, how easy each HPC-relevant mechanism
+// is to USE on it, and — when not available — how hard it would be to
+// IMPLEMENT. bench_capability joins the two registries to regenerate
+// the paper's tables; tests assert the qualitative orderings the paper
+// claims (e.g. "No TLB misses": easy on CNK, not available on Linux).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bg::kernel {
+
+enum class Ease {
+  kEasy,
+  kMedium,
+  kHard,
+  kNotAvail,
+  kEasyToHard,      // "easy - hard" (depends on circumstances)
+  kEasyToNotAvail,  // "easy - not avail" (version dependent)
+  kMediumToHard,    // "medium - hard"
+};
+
+const char* easeLabel(Ease e);
+
+/// Numeric difficulty for ordering assertions (lower = easier;
+/// not-avail ranks hardest to use).
+int easeRank(Ease e);
+
+struct Capability {
+  std::string feature;
+  Ease use;              // Table II: ease of using the capability
+  Ease implement;        // Table III: ease of implementing if absent
+  std::string note;
+};
+
+/// The canonical feature list, in the paper's Table II row order.
+std::vector<std::string> capabilityFeatures();
+
+}  // namespace bg::kernel

@@ -1,0 +1,45 @@
+#include "kernel/futex.hpp"
+
+#include <algorithm>
+
+namespace bg::kernel {
+
+void FutexTable::enqueue(std::uint32_t pid, hw::VAddr uaddr, Thread* t) {
+  queues_[{pid, uaddr}].push_back(t);
+}
+
+std::vector<Thread*> FutexTable::dequeue(std::uint32_t pid, hw::VAddr uaddr,
+                                         std::uint64_t n) {
+  std::vector<Thread*> out;
+  auto it = queues_.find({pid, uaddr});
+  if (it == queues_.end()) return out;
+  auto& q = it->second;
+  while (!q.empty() && out.size() < n) {
+    out.push_back(q.front());
+    q.pop_front();
+  }
+  if (q.empty()) queues_.erase(it);
+  return out;
+}
+
+void FutexTable::remove(Thread* t) {
+  for (auto it = queues_.begin(); it != queues_.end();) {
+    auto& q = it->second;
+    q.erase(std::remove(q.begin(), q.end(), t), q.end());
+    it = q.empty() ? queues_.erase(it) : std::next(it);
+  }
+}
+
+std::size_t FutexTable::waiterCount(std::uint32_t pid,
+                                    hw::VAddr uaddr) const {
+  auto it = queues_.find({pid, uaddr});
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+std::size_t FutexTable::totalWaiters() const {
+  std::size_t n = 0;
+  for (const auto& [k, q] : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace bg::kernel

@@ -1,0 +1,41 @@
+// Futex wait-queue table, shared by CNK and the FWK.
+//
+// The paper calls out that a *full* futex implementation was the key
+// syscall needed for NPTL's pthread_mutex and friends (§IV-B1). Wait
+// queues are keyed by (pid, user vaddr); the value check against real
+// user memory is done by the caller (which owns address resolution).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "hw/addr.hpp"
+
+namespace bg::kernel {
+
+class Thread;
+
+class FutexTable {
+ public:
+  /// Enqueue t as a waiter on (pid, uaddr). Caller has already set the
+  /// thread state to Blocked.
+  void enqueue(std::uint32_t pid, hw::VAddr uaddr, Thread* t);
+
+  /// Dequeue up to n waiters in FIFO order.
+  std::vector<Thread*> dequeue(std::uint32_t pid, hw::VAddr uaddr,
+                               std::uint64_t n);
+
+  /// Remove a thread from any queue it is on (exit/kill path).
+  void remove(Thread* t);
+
+  std::size_t waiterCount(std::uint32_t pid, hw::VAddr uaddr) const;
+  std::size_t totalWaiters() const;
+
+ private:
+  using Key = std::pair<std::uint32_t, hw::VAddr>;
+  std::map<Key, std::deque<Thread*>> queues_;
+};
+
+}  // namespace bg::kernel

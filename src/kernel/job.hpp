@@ -1,0 +1,25 @@
+// Job description: what the control system hands a node kernel at
+// launch time. Mirrors the knobs the paper describes: process count
+// per node (SMP/DUAL/VN modes), up-front shared memory size (§VII-B),
+// and the dynamic libraries to make loadable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kernel/elf.hpp"
+
+namespace bg::kernel {
+
+struct JobSpec {
+  std::shared_ptr<ElfImage> exe;
+  int processes = 1;            // per node: 1 (SMP), 2 (DUAL), 4 (VN)
+  std::uint64_t sharedMemBytes = 0;  // must be declared up-front on CNK
+  std::vector<std::shared_ptr<ElfImage>> libs;  // available to dlopen
+  /// Persistent-memory regions to import by name (paper §IV-D).
+  std::vector<std::string> persistentRegions;
+  int firstRank = 0;            // MPI rank of process 0 on this node
+};
+
+}  // namespace bg::kernel

@@ -1,0 +1,162 @@
+// KernelBase: machinery shared by CNK and the FWK baseline — boot
+// phase sequencing, process/thread tables, signal delivery, user-memory
+// copies, and the syscalls whose semantics are kernel-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hw/kernel_if.hpp"
+#include "hw/node.hpp"
+#include "kernel/futex.hpp"
+#include "kernel/job.hpp"
+#include "kernel/process.hpp"
+#include "kernel/syscalls.hpp"
+#include "sim/types.hpp"
+
+namespace bg::kernel {
+
+struct BootPhase {
+  std::string name;
+  sim::Cycle cycles;
+};
+
+/// RAS (Reliability/Availability/Serviceability) event, as reported to
+/// the control system on a real machine. The L1-parity recovery story
+/// (paper §V-B) and fatal-fault diagnoses flow through this log.
+struct RasEvent {
+  enum class Code : std::uint8_t {
+    kMachineCheck,   // L1 parity or similar hardware error
+    kSegv,           // wild access / guard-page trap
+    kThreadKilled,   // fatal signal took a thread down
+    kJobLoaded,
+    kJobExited,
+  };
+  sim::Cycle cycle = 0;
+  Code code = Code::kMachineCheck;
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::uint64_t detail = 0;  // faulting address / exit status / ...
+};
+
+class KernelBase : public hw::KernelIf {
+ public:
+  explicit KernelBase(hw::Node& node);
+
+  hw::Node& node() { return node_; }
+  sim::Engine& engine() { return node_.engine(); }
+
+  /// Run the boot phase sequence; onBooted fires when complete.
+  void boot(std::function<void()> onBooted = nullptr);
+  bool booted() const { return booted_; }
+  sim::Cycle bootCycles() const { return bootCycles_; }
+  const std::vector<std::string>& bootLog() const { return bootLog_; }
+
+  /// The phase list is the kernel's "personality": CNK's is short and
+  /// flat, the FWK's is long and spawns daemons (bench_boot).
+  virtual std::vector<BootPhase> bootPhases() const = 0;
+
+  /// Load a job onto this node: create processes/threads, build memory
+  /// maps, and start the main threads. Returns false on failure.
+  virtual bool loadJob(const JobSpec& spec) = 0;
+
+  /// Kernel name for reports.
+  virtual const char* kernelName() const = 0;
+
+  /// Messaging-relevant capabilities (paper §V-C): CNK lets user space
+  /// drive the DMA directly and guarantees physically-contiguous
+  /// regions; a stock Linux does neither cheaply.
+  virtual bool supportsUserSpaceDma() const { return false; }
+  virtual bool hasContiguousPhysRegions() const { return false; }
+
+  // --- process/thread tables ---
+  Process* processByPid(std::uint32_t pid);
+  Thread* threadByTid(std::uint32_t tid);
+  std::vector<std::unique_ptr<Process>>& processes() { return processes_; }
+  /// True when every loaded process has exited (job completion).
+  bool jobDone() const;
+
+  // --- user memory ---
+  /// Resolve one user virtual address to physical, possibly faulting
+  /// pages in (FWK). Contiguity is guaranteed only within 4KB.
+  virtual std::optional<hw::PAddr> resolveUser(Process& p, hw::VAddr va) = 0;
+  bool copyFromUser(Process& p, hw::VAddr va, std::span<std::byte> out);
+  bool copyToUser(Process& p, hw::VAddr va, std::span<const std::byte> in);
+  std::optional<std::string> readUserString(Process& p, hw::VAddr va,
+                                            std::size_t maxLen = 4096);
+
+  // --- signals ---
+  /// Deliver signo to t: push a frame resuming at `resumePc` and enter
+  /// the registered handler; kills the thread if none is registered.
+  /// Returns delivery cost.
+  sim::Cycle deliverSignal(Thread& t, int signo, std::uint64_t resumePc);
+  void killThread(Thread& t);
+
+  /// Make a blocked thread runnable with the given syscall result and
+  /// kick its core.
+  void wakeThread(Thread& t, std::uint64_t result);
+
+  // --- hw::KernelIf defaults ---
+  sim::Cycle onFault(hw::Core& core, hw::ThreadCtx& t, hw::FaultKind kind,
+                     hw::VAddr va) override;
+  void onThreadHalt(hw::Core& core, hw::ThreadCtx& t) override;
+  sim::Cycle contextSwitchCost() const override { return 150; }
+
+  /// Experiment harness hook: provides the host-visible sample sink
+  /// for thread `threadIndex` of a process (0 = main thread). Applied
+  /// at thread creation so cloned FWQ workers get their own sinks.
+  using SampleSinkProvider =
+      std::function<std::vector<std::uint64_t>*(const Process&, int)>;
+  void setSampleSinkProvider(SampleSinkProvider f) {
+    sampleSink_ = std::move(f);
+  }
+
+  /// Access to the kernel's futex table (used by the user-space mutex
+  /// runtime for handover unlocks). May be null.
+  virtual FutexTable* futexTable() { return nullptr; }
+
+  // statistics
+  std::uint64_t syscallCount() const { return syscallCount_; }
+  std::uint64_t signalsDelivered() const { return signalsDelivered_; }
+  std::uint64_t threadsKilled() const { return threadsKilled_; }
+
+  /// RAS event stream (what a service node would collect).
+  const std::vector<RasEvent>& rasLog() const { return rasLog_; }
+  void logRas(RasEvent::Code code, std::uint32_t pid, std::uint32_t tid,
+              std::uint64_t detail);
+
+ protected:
+  /// Handle the kernel-agnostic syscall subset (gettid/getpid/uname/
+  /// sigaction/sigreturn/gettimeofday/tgkill/nanosleep-as-spin...).
+  /// Returns nullopt if the syscall is not in the common subset.
+  std::optional<hw::HandlerResult> commonSyscall(hw::Core& core, Thread& t,
+                                                 const hw::SyscallArgs& args);
+
+  virtual const char* unameRelease() const = 0;
+
+  std::uint32_t allocPid() { return nextPid_++; }
+  std::uint32_t allocTid() { return nextTid_++; }
+
+  static Thread& threadOf(hw::ThreadCtx& ctx) {
+    return *static_cast<Thread*>(ctx.owner);
+  }
+
+  SampleSinkProvider sampleSink_;
+  hw::Node& node_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::uint32_t nextPid_ = 1;
+  std::uint32_t nextTid_ = 1;
+  bool booted_ = false;
+  sim::Cycle bootCycles_ = 0;
+  std::vector<std::string> bootLog_;
+  std::uint64_t syscallCount_ = 0;
+  std::uint64_t signalsDelivered_ = 0;
+  std::uint64_t threadsKilled_ = 0;
+  std::vector<RasEvent> rasLog_;
+};
+
+}  // namespace bg::kernel

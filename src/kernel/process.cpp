@@ -1,0 +1,63 @@
+#include "kernel/process.hpp"
+
+namespace bg::kernel {
+
+Thread::Thread(Process& p, std::uint32_t tid) : proc(p) {
+  ctx.pid = p.pid();
+  ctx.tid = tid;
+  ctx.owner = this;
+}
+
+bool Thread::isMain() const {
+  return !proc.threads().empty() && proc.threads().front().get() == this;
+}
+
+Process::Process(std::uint32_t pid, std::shared_ptr<ElfImage> exe)
+    : pid_(pid), exe_(std::move(exe)) {}
+
+Thread& Process::addThread(std::uint32_t tid) {
+  threads_.push_back(std::make_unique<Thread>(*this, tid));
+  return *threads_.back();
+}
+
+Thread* Process::threadByTid(std::uint32_t tid) {
+  for (auto& t : threads_) {
+    if (t->ctx.tid == tid) return t.get();
+  }
+  return nullptr;
+}
+
+Thread* Process::mainThread() {
+  return threads_.empty() ? nullptr : threads_.front().get();
+}
+
+std::size_t Process::liveThreads() const {
+  std::size_t n = 0;
+  for (const auto& t : threads_) {
+    if (!t->ctx.done()) ++n;
+  }
+  return n;
+}
+
+std::optional<hw::PAddr> Process::resolveStatic(hw::VAddr va) const {
+  if (const MemRegionDesc* r = regionFor(va)) {
+    return r->pbase + (va - r->vbase);
+  }
+  return std::nullopt;
+}
+
+const MemRegionDesc* Process::regionFor(hw::VAddr va) const {
+  for (const MemRegionDesc& r : regions) {
+    if (r.contains(va)) return &r;
+  }
+  return nullptr;
+}
+
+const MemRegionDesc* Process::regionNamed(const std::string& name) const {
+  for (const MemRegionDesc& r : regions) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace bg::kernel

@@ -1,0 +1,111 @@
+// Kernel-side process and thread objects, shared by CNK and the FWK.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/addr.hpp"
+#include "hw/thread_ctx.hpp"
+#include "kernel/elf.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace bg::kernel {
+
+class Process;
+
+/// One entry of a process's memory map. For CNK these are the four
+/// static ranges of paper Fig 3 (plus persistent regions); for the FWK
+/// they are VMAs whose pages materialize on demand.
+struct MemRegionDesc {
+  std::string name;
+  hw::VAddr vbase = 0;
+  hw::PAddr pbase = 0;  // meaningful only for statically-mapped regions
+  std::uint64_t size = 0;
+  std::uint8_t perms = hw::kPermNone;
+  std::uint64_t pageSize = hw::kPage1M;
+
+  bool contains(hw::VAddr va) const {
+    return va >= vbase && va - vbase < size;
+  }
+};
+
+struct SigHandler {
+  bool installed = false;
+  std::uint64_t entry = 0;  // pc in the process's program
+};
+
+class Thread {
+ public:
+  Thread(Process& proc, std::uint32_t tid);
+
+  hw::ThreadCtx ctx;
+  Process& proc;
+
+  /// CLONE_CHILD_CLEARTID / set_tid_address target: cleared and
+  /// futex-woken on exit (this is what pthread_join waits on).
+  hw::VAddr clearChildTid = 0;
+
+  /// Guard range protecting this thread's stack (paper Fig 4).
+  hw::VAddr guardLo = 0;
+  hw::VAddr guardHi = 0;
+
+  bool isMain() const;
+};
+
+class Process {
+ public:
+  Process(std::uint32_t pid, std::shared_ptr<ElfImage> exe);
+
+  std::uint32_t pid() const { return pid_; }
+  const std::shared_ptr<ElfImage>& exe() const { return exe_; }
+
+  int rank = 0;      // MPI rank assigned by the job loader
+  int nodeId = 0;
+
+  std::vector<MemRegionDesc> regions;
+
+  // Heap management (brk) within the heap/stack range.
+  hw::VAddr heapBase = 0;
+  hw::VAddr brk = 0;
+  hw::VAddr heapLimit = 0;
+  hw::VAddr stackTop = 0;
+  hw::VAddr sharedBase = 0;
+
+  std::string cwd = "/";
+
+  SigHandler sig[kNumSignals] = {};
+
+  /// CNK remembers the most recent mprotect() range and assumes it is
+  /// the guard area for the next clone (paper §IV-C).
+  hw::VAddr lastMprotectAddr = 0;
+  std::uint64_t lastMprotectLen = 0;
+
+  bool exited = false;
+  std::int64_t exitStatus = 0;
+  /// Kernel-resident processes (FWK daemons) never exit and do not
+  /// count toward job completion.
+  bool kernelResident = false;
+
+  Thread& addThread(std::uint32_t tid);
+  Thread* threadByTid(std::uint32_t tid);
+  Thread* mainThread();
+  const std::vector<std::unique_ptr<Thread>>& threads() const {
+    return threads_;
+  }
+  std::size_t liveThreads() const;
+
+  /// Resolve a virtual address through the static region map.
+  std::optional<hw::PAddr> resolveStatic(hw::VAddr va) const;
+  const MemRegionDesc* regionFor(hw::VAddr va) const;
+  const MemRegionDesc* regionNamed(const std::string& name) const;
+
+ private:
+  std::uint32_t pid_;
+  std::shared_ptr<ElfImage> exe_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+};
+
+}  // namespace bg::kernel

@@ -1,0 +1,130 @@
+// Syscall ABI shared by CNK and the FWK baseline.
+//
+// Numbers follow the Linux/PPC32 table where one exists — the paper's
+// whole point in §IV-B is that CNK speaks enough of the *standard* ABI
+// (clone, futex, set_tid_address, sigaction, uname, brk, mmap) for
+// unmodified glibc/NPTL to run. BG-specific SPI extensions live above
+// 1000.
+#pragma once
+
+#include <cstdint>
+
+namespace bg::kernel {
+
+enum class Sys : std::int64_t {
+  kExit = 1,
+  kRead = 3,
+  kWrite = 4,
+  kOpen = 5,
+  kClose = 6,
+  kUnlink = 10,
+  kChdir = 12,
+  kLseek = 19,
+  kGetpid = 20,
+  kMkdir = 39,
+  kDup = 41,
+  kBrk = 45,
+  kGettimeofday = 78,
+  kMmap = 90,
+  kMunmap = 91,
+  kStat = 106,
+  kFstat = 108,
+  kClone = 120,
+  kUname = 122,
+  kMprotect = 125,
+  kSchedYield = 158,
+  kNanosleep = 162,
+  kRtSigreturn = 173,
+  kRtSigaction = 174,
+  kGetcwd = 183,
+  kGettid = 207,
+  kFutex = 221,
+  kSchedSetaffinity = 241,
+  kSetTidAddress = 232,
+  kExitGroup = 234,
+  kTgkill = 250,
+
+  // --- Blue Gene SPI extensions (CNK-only; FWK returns -ENOSYS) ---
+  kPersistOpen = 1001,   // named persistent memory (paper §IV-D)
+  kVirt2Phys = 1002,     // static-map query for user-space DMA (§V-C)
+  kGetMemRegions = 1003, // dump of the static partition map
+  kRasEvent = 1004,      // inject/ack RAS events (L1 parity test path)
+  kClockStop = 1005,     // arm the Clock-Stop unit (bringup tooling)
+};
+
+// ---- errno (returned as negative values, Linux-style) ----
+inline constexpr std::int64_t kENOENT = 2;
+inline constexpr std::int64_t kEBADF = 9;
+inline constexpr std::int64_t kEAGAIN = 11;
+inline constexpr std::int64_t kENOMEM = 12;
+inline constexpr std::int64_t kEACCES = 13;
+inline constexpr std::int64_t kEFAULT = 14;
+inline constexpr std::int64_t kEEXIST = 17;
+inline constexpr std::int64_t kENOTDIR = 20;
+inline constexpr std::int64_t kEISDIR = 21;
+inline constexpr std::int64_t kEINVAL = 22;
+inline constexpr std::int64_t kENOSPC = 28;
+inline constexpr std::int64_t kESPIPE = 29;
+inline constexpr std::int64_t kENOSYS = 38;
+inline constexpr std::int64_t kENOTEMPTY = 39;
+
+// ---- clone flags (Linux values) ----
+inline constexpr std::uint64_t kCloneVm = 0x00000100;
+inline constexpr std::uint64_t kCloneFs = 0x00000200;
+inline constexpr std::uint64_t kCloneFiles = 0x00000400;
+inline constexpr std::uint64_t kCloneSighand = 0x00000800;
+inline constexpr std::uint64_t kCloneThread = 0x00010000;
+inline constexpr std::uint64_t kCloneSysvsem = 0x00040000;
+inline constexpr std::uint64_t kCloneSettls = 0x00080000;
+inline constexpr std::uint64_t kCloneParentSettid = 0x00100000;
+inline constexpr std::uint64_t kCloneChildCleartid = 0x00200000;
+
+/// The exact flag set glibc's NPTL passes to clone. CNK validates the
+/// incoming flags against this mask and rejects anything else — the
+/// paper's "static set of flags" observation (§IV-B1).
+inline constexpr std::uint64_t kNptlCloneFlags =
+    kCloneVm | kCloneFs | kCloneFiles | kCloneSighand | kCloneThread |
+    kCloneSysvsem | kCloneSettls | kCloneParentSettid | kCloneChildCleartid;
+
+// ---- futex ops ----
+inline constexpr std::uint64_t kFutexWait = 0;
+inline constexpr std::uint64_t kFutexWake = 1;
+
+// ---- mmap prot/flags (Linux values) ----
+inline constexpr std::uint64_t kProtRead = 1;
+inline constexpr std::uint64_t kProtWrite = 2;
+inline constexpr std::uint64_t kProtExec = 4;
+inline constexpr std::uint64_t kMapShared = 0x01;
+inline constexpr std::uint64_t kMapPrivate = 0x02;
+inline constexpr std::uint64_t kMapFixed = 0x10;
+inline constexpr std::uint64_t kMapAnonymous = 0x20;
+/// MAP_COPY: load the whole file image eagerly (the ld.so requirement
+/// CNK satisfies; paper §IV-B2).
+inline constexpr std::uint64_t kMapCopy = 0x0400'0000;
+
+// ---- open flags ----
+inline constexpr std::uint64_t kORdonly = 0;
+inline constexpr std::uint64_t kOWronly = 1;
+inline constexpr std::uint64_t kORdwr = 2;
+inline constexpr std::uint64_t kOCreat = 0x40;
+inline constexpr std::uint64_t kOTrunc = 0x200;
+inline constexpr std::uint64_t kOAppend = 0x400;
+
+// ---- lseek whence ----
+inline constexpr std::uint64_t kSeekSet = 0;
+inline constexpr std::uint64_t kSeekCur = 1;
+inline constexpr std::uint64_t kSeekEnd = 2;
+
+// ---- signals ----
+inline constexpr int kSigBus = 7;
+inline constexpr int kSigKill = 9;
+inline constexpr int kSigUsr1 = 10;
+inline constexpr int kSigSegv = 11;
+inline constexpr int kSigUsr2 = 12;
+inline constexpr int kNumSignals = 32;
+
+/// The kernel version string CNK reports through uname so glibc
+/// believes NPTL's kernel requirements are met (paper §IV-B1).
+inline constexpr const char* kCnkUnameRelease = "2.6.19.2";
+
+}  // namespace bg::kernel

@@ -1,0 +1,44 @@
+// ARMCI-lite: blocking one-sided operations over DCMF (Table I rows
+// "ARMCI blocking Put/Get").
+//
+// ARMCI's blocking put is ordered: it returns only after the data is
+// visible at the target and the acknowledgement has come back, which
+// is why its latency sits above DCMF's fire-and-forget put. Blocking
+// get adds the ARMCI handoff on top of DCMF's request/response.
+#pragma once
+
+#include "msg/dcmf.hpp"
+
+namespace bg::msg {
+
+struct ArmciConfig {
+  sim::Cycle layerOverhead = 360;  // ARMCI bookkeeping per op
+  sim::Cycle ackPacketCost = 260;  // software cost of the remote ack
+};
+
+class Armci {
+ public:
+  Armci(MsgWorld& world, Dcmf& dcmf, hw::TorusNet& torus,
+        ArmciConfig cfg = {})
+      : world_(world), dcmf_(dcmf), torus_(torus), cfg_(cfg) {}
+
+  hw::HandlerResult put(kernel::Thread& t, int myRank, int dstRank,
+                        hw::VAddr localVa, hw::VAddr remoteVa,
+                        std::uint64_t bytes);
+  hw::HandlerResult get(kernel::Thread& t, int myRank, int srcRank,
+                        hw::VAddr remoteVa, hw::VAddr localVa,
+                        std::uint64_t bytes);
+
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+
+ private:
+  MsgWorld& world_;
+  Dcmf& dcmf_;
+  hw::TorusNet& torus_;
+  ArmciConfig cfg_;
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+};
+
+}  // namespace bg::msg

@@ -1,0 +1,38 @@
+// Rank registry: maps MPI ranks to (node, process, kernel).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "hw/node.hpp"
+#include "kernel/kernel.hpp"
+
+namespace bg::msg {
+
+struct RankInfo {
+  int nodeId = 0;
+  std::uint32_t pid = 0;
+  hw::Node* node = nullptr;
+  kernel::KernelBase* kern = nullptr;
+};
+
+class MsgWorld {
+ public:
+  void registerRank(int rank, RankInfo info) { ranks_[rank] = info; }
+  const RankInfo* rank(int r) const {
+    auto it = ranks_.find(r);
+    return it == ranks_.end() ? nullptr : &it->second;
+  }
+  int size() const { return static_cast<int>(ranks_.size()); }
+  void clear() { ranks_.clear(); }
+
+  kernel::Process* processOf(int r) const {
+    const RankInfo* info = rank(r);
+    return info == nullptr ? nullptr : info->kern->processByPid(info->pid);
+  }
+
+ private:
+  std::map<int, RankInfo> ranks_;
+};
+
+}  // namespace bg::msg

@@ -1,0 +1,85 @@
+#include "runtime/dispatcher.hpp"
+
+namespace bg::rt {
+
+hw::HandlerResult Dispatcher::rtcall(hw::Core& core, hw::ThreadCtx& ctx,
+                                     std::int64_t fnId) {
+  auto& t = *static_cast<kernel::Thread*>(ctx.owner);
+  const std::uint64_t* r = ctx.regs;
+  const int rank = t.proc.rank;
+  using H = hw::HandlerResult;
+
+  switch (static_cast<Rt>(fnId)) {
+    case Rt::kMalloc: {
+      const Malloc::Result res = malloc_.alloc(core, t, r[1]);
+      return H::done(res.addr, res.cost);
+    }
+    case Rt::kFree: {
+      const Malloc::Result res = malloc_.release(core, t, r[1], r[2]);
+      return H::done(0, res.cost);
+    }
+    case Rt::kPthreadCreate:
+      return pthreads_.create(core, t, r[1], r[2]);
+    case Rt::kPthreadJoin:
+      return pthreads_.join(core, t, r[1]);
+    case Rt::kMutexLock:
+      return pthreads_.mutexLock(core, t, r[1]);
+    case Rt::kMutexUnlock:
+      return pthreads_.mutexUnlock(core, t, r[1]);
+    case Rt::kBarrierWait:
+      return pthreads_.barrierWait(core, t, r[1], r[2]);
+    case Rt::kDlopen:
+      return loader_.dlopen(core, t, r[1]);
+
+    case Rt::kDcmfSend:
+      if (dcmf_ == nullptr) break;
+      return dcmf_->send(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4]);
+    case Rt::kDcmfRecv:
+      if (dcmf_ == nullptr) break;
+      return dcmf_->recvWait(t, rank,
+                             static_cast<int>(static_cast<std::int64_t>(r[1])),
+                             r[2], r[3], r[4]);
+    case Rt::kDcmfPut:
+      if (dcmf_ == nullptr) break;
+      return dcmf_->put(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4],
+                        r[5] != 0);
+    case Rt::kDcmfGet:
+      if (dcmf_ == nullptr) break;
+      return dcmf_->get(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4]);
+
+    case Rt::kMpiSend:
+      if (mpi_ == nullptr) break;
+      return mpi_->send(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4]);
+    case Rt::kMpiRecv:
+      if (mpi_ == nullptr) break;
+      return mpi_->recv(t, rank,
+                        static_cast<int>(static_cast<std::int64_t>(r[1])),
+                        r[2], r[3], r[4]);
+    case Rt::kMpiAllreduce:
+      if (mpi_ == nullptr) break;
+      return mpi_->allreduceSum(t, rank, r[1], r[2], r[3]);
+    case Rt::kMpiBarrier:
+      if (mpi_ == nullptr) break;
+      return mpi_->barrier(t, rank);
+    case Rt::kMpiBcast:
+      if (mpi_ == nullptr) break;
+      return mpi_->bcast(t, rank, static_cast<int>(r[1]), r[2], r[3]);
+    case Rt::kMpiRank:
+      return H::done(static_cast<std::uint64_t>(rank), 20);
+    case Rt::kMpiSize:
+      return H::done(world_ != nullptr
+                         ? static_cast<std::uint64_t>(world_->size())
+                         : 1,
+                     20);
+
+    case Rt::kArmciPut:
+      if (armci_ == nullptr) break;
+      return armci_->put(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4]);
+    case Rt::kArmciGet:
+      if (armci_ == nullptr) break;
+      return armci_->get(t, rank, static_cast<int>(r[1]), r[2], r[3], r[4]);
+  }
+  return H::done(static_cast<std::uint64_t>(-kernel::kENOSYS), 30);
+}
+
+}  // namespace bg::rt

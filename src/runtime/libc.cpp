@@ -1,0 +1,79 @@
+#include "runtime/libc.hpp"
+
+#include <algorithm>
+
+namespace bg::rt {
+
+hw::HandlerResult invokeSyscall(hw::Core& core, kernel::Thread& t,
+                                kernel::Sys nr, std::uint64_t a0,
+                                std::uint64_t a1, std::uint64_t a2,
+                                std::uint64_t a3, std::uint64_t a4,
+                                std::uint64_t a5) {
+  hw::SyscallArgs args;
+  args.nr = static_cast<std::int64_t>(nr);
+  args.arg[0] = a0;
+  args.arg[1] = a1;
+  args.arg[2] = a2;
+  args.arg[3] = a3;
+  args.arg[4] = a4;
+  args.arg[5] = a5;
+  return t.proc.nodeId >= 0
+             ? core.node().kernel()->syscall(core, t.ctx, args)
+             : hw::HandlerResult::done(0, 0);
+}
+
+Malloc::Result Malloc::alloc(hw::Core& core, kernel::Thread& t,
+                             std::uint64_t size) {
+  Result res;
+  if (size == 0) size = 1;
+  size = hw::alignUp(size, 16);
+
+  if (size >= kMmapThreshold) {
+    auto r = invokeSyscall(core, t, kernel::Sys::kMmap, 0, size,
+                           kernel::kProtRead | kernel::kProtWrite,
+                           kernel::kMapPrivate | kernel::kMapAnonymous);
+    res.cost = r.cost + 90;
+    const auto addr = static_cast<std::int64_t>(r.result);
+    res.addr = addr > 0 ? r.result : 0;
+    return res;
+  }
+
+  Arena& a = arenas_[t.proc.pid()];
+  if (a.cur + size > a.end) {
+    // Grow the heap via brk in 1MB steps.
+    auto cur = invokeSyscall(core, t, kernel::Sys::kBrk, 0);
+    res.cost += cur.cost;
+    const std::uint64_t oldBrk = cur.result;
+    const std::uint64_t grow =
+        hw::alignUp(std::max<std::uint64_t>(size, 1ULL << 20), 4096);
+    auto grown = invokeSyscall(core, t, kernel::Sys::kBrk, oldBrk + grow);
+    res.cost += grown.cost;
+    if (grown.result < oldBrk + size) {
+      res.addr = 0;  // ENOMEM
+      return res;
+    }
+    if (a.cur == 0 || a.cur < oldBrk) a.cur = oldBrk;
+    a.end = grown.result;
+  }
+  res.addr = a.cur;
+  a.cur += size;
+  res.cost += 70;  // arena bookkeeping
+  return res;
+}
+
+Malloc::Result Malloc::release(hw::Core& core, kernel::Thread& t,
+                               std::uint64_t addr, std::uint64_t size) {
+  Result res;
+  size = hw::alignUp(size, 16);
+  if (size >= kMmapThreshold) {
+    auto r = invokeSyscall(core, t, kernel::Sys::kMunmap, addr, size);
+    res.cost = r.cost + 60;
+    res.addr = r.result;
+    return res;
+  }
+  // Arena free: bookkeeping only (a real arena would bin it).
+  res.cost = 45;
+  return res;
+}
+
+}  // namespace bg::rt

@@ -1,0 +1,49 @@
+// glibc-style malloc built on brk/mmap, as the paper describes NPTL's
+// stack allocation doing: "glibc uses standard malloc calls... Many
+// stack allocations exceed 1MB, invoking the mmap system call as
+// opposed to brk. However, CNK supports both brk and mmap" (§IV-B1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "hw/core.hpp"
+#include "kernel/kernel.hpp"
+
+namespace bg::rt {
+
+class Malloc {
+ public:
+  /// Allocations at or above this go straight to mmap (glibc's
+  /// MMAP_THRESHOLD).
+  static constexpr std::uint64_t kMmapThreshold = 128ULL << 10;
+
+  struct Result {
+    std::uint64_t addr = 0;  // 0 on failure
+    sim::Cycle cost = 0;
+  };
+
+  /// Allocate on behalf of thread t (performs brk/mmap syscalls
+  /// through the kernel as needed).
+  Result alloc(hw::Core& core, kernel::Thread& t, std::uint64_t size);
+  Result release(hw::Core& core, kernel::Thread& t, std::uint64_t addr,
+                 std::uint64_t size);
+
+ private:
+  struct Arena {
+    std::uint64_t cur = 0;
+    std::uint64_t end = 0;
+  };
+  std::map<std::uint32_t, Arena> arenas_;  // per pid
+};
+
+/// Helper: invoke a syscall through the kernel on behalf of a thread
+/// (the way library code traps). Only valid for syscalls that complete
+/// immediately.
+hw::HandlerResult invokeSyscall(hw::Core& core, kernel::Thread& t,
+                                kernel::Sys nr, std::uint64_t a0 = 0,
+                                std::uint64_t a1 = 0, std::uint64_t a2 = 0,
+                                std::uint64_t a3 = 0, std::uint64_t a4 = 0,
+                                std::uint64_t a5 = 0);
+
+}  // namespace bg::rt

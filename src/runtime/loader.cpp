@@ -1,0 +1,25 @@
+#include "runtime/loader.hpp"
+
+#include "cnk/cnk_kernel.hpp"
+#include "fwk/fwk_kernel.hpp"
+
+namespace bg::rt {
+
+hw::HandlerResult Loader::dlopen(hw::Core& core, kernel::Thread& t,
+                                 std::uint64_t libIndex) {
+  if (libIndex >= libNames_.size()) {
+    return hw::HandlerResult::done(static_cast<std::uint64_t>(-kernel::kENOENT),
+                                   80);
+  }
+  const std::string& name = libNames_[libIndex];
+  if (auto* cnk = dynamic_cast<cnk::CnkKernel*>(core.node().kernel())) {
+    return cnk->dlopenForThread(t, name);
+  }
+  if (auto* fwk = dynamic_cast<fwk::FwkKernel*>(core.node().kernel())) {
+    return fwk->dlopenForThread(t, name);
+  }
+  return hw::HandlerResult::done(static_cast<std::uint64_t>(-kernel::kENOSYS),
+                                 80);
+}
+
+}  // namespace bg::rt

@@ -1,0 +1,28 @@
+// Dynamic-loader front end (dlopen) dispatching to the kernel-specific
+// implementation: CNK's eager full-image function-shipped load vs the
+// FWK's lazy VMA mapping with demand faults from networked storage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/core.hpp"
+#include "kernel/kernel.hpp"
+
+namespace bg::rt {
+
+class Loader {
+ public:
+  void setLibNames(std::vector<std::string> names) {
+    libNames_ = std::move(names);
+  }
+  const std::vector<std::string>& libNames() const { return libNames_; }
+
+  hw::HandlerResult dlopen(hw::Core& core, kernel::Thread& t,
+                           std::uint64_t libIndex);
+
+ private:
+  std::vector<std::string> libNames_;
+};
+
+}  // namespace bg::rt

@@ -1,0 +1,54 @@
+// Runtime-call (rtcall) function ids: the user-space library ABI.
+//
+// An rtcall is a call into modeled user-space library code (glibc
+// malloc, NPTL pthreads, ld.so, DCMF/MPI/ARMCI). Unlike syscalls these
+// never enter the kernel by themselves — the handlers perform any
+// syscalls they need through the kernel interface, exactly as the real
+// libraries do (e.g. pthread_create = mmap + mprotect + clone, the
+// NPTL sequence the paper describes in §IV-B1/§IV-C).
+#pragma once
+
+#include <cstdint>
+
+namespace bg::rt {
+
+enum class Rt : std::int64_t {
+  // glibc-ish
+  kMalloc = 1,  // r1=size -> addr (0 on failure)
+  kFree = 2,    // r1=addr, r2=size
+
+  // NPTL-ish
+  kPthreadCreate = 10,  // r1=startPc, r2=arg -> tid
+  kPthreadJoin = 11,    // r1=tid -> 0
+  kMutexLock = 12,      // r1=mutex vaddr (8 bytes, init 0)
+  kMutexUnlock = 13,    // r1=mutex vaddr
+  kBarrierWait = 14,    // r1=barrier vaddr (16 bytes, init 0), r2=count
+
+  // ld.so-ish
+  kDlopen = 30,  // r1=library index in the job's lib list -> handle/base
+
+  // DCMF
+  kDcmfSend = 40,  // r1=dstRank, r2=srcVa, r3=bytes, r4=tag
+  kDcmfRecv = 41,  // r1=srcRank (-1 any), r2=dstVa, r3=maxBytes, r4=tag
+  kDcmfPut = 42,   // r1=dstRank, r2=localVa, r3=remoteVa, r4=bytes,
+                   // r5=1 to wait for remote visibility
+  kDcmfGet = 43,   // r1=srcRank, r2=remoteVa, r3=localVa, r4=bytes
+
+  // MPI-lite
+  kMpiSend = 60,       // r1=dstRank, r2=srcVa, r3=bytes, r4=tag
+  kMpiRecv = 61,       // r1=srcRank (-1 any), r2=dstVa, r3=maxBytes, r4=tag
+  kMpiAllreduce = 62,  // r1=srcVa, r2=count(doubles), r3=dstVa
+  kMpiBarrier = 63,
+  kMpiRank = 64,
+  kMpiSize = 65,
+  kMpiBcast = 66,      // r1=rootRank, r2=buf, r3=count(doubles)
+
+  // ARMCI-lite
+  kArmciPut = 80,  // r1=dstRank, r2=localVa, r3=remoteVa, r4=bytes
+  kArmciGet = 81,  // r1=srcRank, r2=remoteVa, r3=localVa, r4=bytes
+};
+
+/// "any source" sentinel for recv calls.
+inline constexpr std::int64_t kAnySource = -1;
+
+}  // namespace bg::rt

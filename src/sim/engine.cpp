@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bg::sim {
+
+EventId Engine::schedule(Cycle delay, EventFn fn) {
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Engine::scheduleAt(Cycle when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = nextId_++;
+  queue_.push(Item{when, id, std::move(fn)});
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  cancelled_.push_back(id);
+  ++tombstones_;
+}
+
+bool Engine::isCancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  --tombstones_;
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    if (isCancelled(item.id)) continue;
+    now_ = item.time;
+    ++processed_;
+    item.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+void Engine::runUntil(Cycle t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Engine::runWhile(const std::function<bool()>& pred,
+                      std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit) {
+    if (pred()) return true;
+    if (!step()) return pred();
+    ++n;
+  }
+  return pred();
+}
+
+}  // namespace bg::sim

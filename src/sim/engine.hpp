@@ -1,0 +1,82 @@
+// Deterministic discrete-event simulation engine.
+//
+// Single-threaded; events are totally ordered by (time, sequence
+// number), so two events scheduled for the same cycle fire in
+// scheduling order. This total order is what makes CNK's
+// cycle-reproducibility experiments (paper §III) exactly testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bg::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Cycle now() const { return now_; }
+
+  /// Schedule fn to run `delay` cycles from now. Returns a handle that
+  /// can be passed to cancel().
+  EventId schedule(Cycle delay, EventFn fn);
+
+  /// Schedule fn at an absolute cycle (must be >= now()).
+  EventId scheduleAt(Cycle when, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown
+  /// event is a no-op. O(1): the event is tombstoned, not removed.
+  void cancel(EventId id);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty or `limit` events have fired.
+  /// Returns the number of events processed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Run all events with time <= t, then advance the clock to t.
+  void runUntil(Cycle t);
+
+  /// Run until pred() is true (checked after each event) or the queue
+  /// drains. Returns true if pred was satisfied.
+  bool runWhile(const std::function<bool()>& pred,
+                std::uint64_t limit = UINT64_MAX);
+
+  std::size_t pendingEvents() const { return queue_.size() - tombstones_; }
+  std::uint64_t eventsProcessed() const { return processed_; }
+
+ private:
+  struct Item {
+    Cycle time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Cycle now_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t tombstones_ = 0;
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  bool isCancelled(EventId id);
+};
+
+}  // namespace bg::sim

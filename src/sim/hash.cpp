@@ -1,0 +1,39 @@
+#include "sim/hash.hpp"
+
+namespace bg::sim {
+
+namespace {
+constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+}
+
+Fnv1a& Fnv1a::mix(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (i * 8)) & 0xFF;
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::mixBytes(std::span<const std::byte> bytes) {
+  for (std::byte b : bytes) {
+    h_ ^= static_cast<std::uint64_t>(b);
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+Fnv1a& Fnv1a::mixString(std::string_view s) {
+  for (char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= kPrime;
+  }
+  return *this;
+}
+
+std::uint64_t hashBytes(std::span<const std::byte> bytes) {
+  Fnv1a h;
+  h.mixBytes(bytes);
+  return h.digest();
+}
+
+}  // namespace bg::sim

@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+namespace bg::sim {
+
+void TraceBuffer::record(Cycle cycle, std::uint32_t tag,
+                         std::uint64_t value) {
+  hash_.mix(cycle).mix(tag).mix(value);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TraceRecord{cycle, tag, value});
+  } else if (capacity_ > 0) {
+    ring_[head_] = TraceRecord{cycle, tag, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<TraceRecord> TraceBuffer::recent() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  hash_ = Fnv1a{};
+}
+
+}  // namespace bg::sim

@@ -1,0 +1,50 @@
+// Trace buffer: the simulator's analogue of hardware waveform capture.
+//
+// During chip bringup the paper's team assembled logic scans taken one
+// cycle apart into waveform displays (§III). Our TraceBuffer records
+// (cycle, tag, value) tuples; two runs are "cycle-reproducible" iff
+// their trace streams hash identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/hash.hpp"
+#include "sim/types.hpp"
+
+namespace bg::sim {
+
+struct TraceRecord {
+  Cycle cycle;
+  std::uint32_t tag;    // subsystem-defined event tag
+  std::uint64_t value;  // subsystem-defined payload
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16)
+      : capacity_(capacity) {}
+
+  void record(Cycle cycle, std::uint32_t tag, std::uint64_t value);
+
+  /// Rolling digest over every record ever written (including ones that
+  /// have fallen out of the ring). This is the reproducibility witness.
+  std::uint64_t digest() const { return hash_.digest(); }
+
+  std::uint64_t totalRecords() const { return total_; }
+
+  /// Most recent records, oldest first (bounded by capacity).
+  std::vector<TraceRecord> recent() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // next write slot once full
+  std::uint64_t total_ = 0;
+  Fnv1a hash_;
+};
+
+}  // namespace bg::sim

@@ -1,0 +1,30 @@
+// Fundamental simulation types shared by every subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace bg::sim {
+
+/// Simulated processor cycle count. One BG/P-like core runs at
+/// kCoreHz cycles per simulated second.
+using Cycle = std::uint64_t;
+
+/// Core clock frequency of the simulated machine (BG/P PPC450: 850 MHz).
+inline constexpr std::uint64_t kCoreHz = 850'000'000ULL;
+
+/// Convert a duration in microseconds to cycles at kCoreHz.
+constexpr Cycle usToCycles(double us) {
+  return static_cast<Cycle>(us * (static_cast<double>(kCoreHz) / 1e6));
+}
+
+/// Convert cycles to microseconds at kCoreHz.
+constexpr double cyclesToUs(Cycle c) {
+  return static_cast<double>(c) * 1e6 / static_cast<double>(kCoreHz);
+}
+
+/// Convert cycles to seconds at kCoreHz.
+constexpr double cyclesToSec(Cycle c) {
+  return static_cast<double>(c) / static_cast<double>(kCoreHz);
+}
+
+}  // namespace bg::sim

@@ -1,0 +1,125 @@
+#include "vm/builder.hpp"
+
+#include <cassert>
+
+namespace bg::vm {
+
+ProgramBuilder& ProgramBuilder::li(Reg rd, std::int64_t imm) {
+  return emit({.op = Op::kLi, .rd = rd, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::mov(Reg rd, Reg ra) {
+  return emit({.op = Op::kMov, .rd = rd, .ra = ra});
+}
+ProgramBuilder& ProgramBuilder::add(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kAdd, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::addi(Reg rd, Reg ra, std::int64_t imm) {
+  return emit({.op = Op::kAddi, .rd = rd, .ra = ra, .imm = imm});
+}
+ProgramBuilder& ProgramBuilder::sub(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kSub, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::mul(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kMul, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::andr(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kAnd, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::orr(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kOr, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::xorr(Reg rd, Reg ra, Reg rb) {
+  return emit({.op = Op::kXor, .rd = rd, .ra = ra, .rb = rb});
+}
+ProgramBuilder& ProgramBuilder::shl(Reg rd, Reg ra, std::int64_t amount) {
+  return emit({.op = Op::kShl, .rd = rd, .ra = ra, .imm = amount});
+}
+ProgramBuilder& ProgramBuilder::shr(Reg rd, Reg ra, std::int64_t amount) {
+  return emit({.op = Op::kShr, .rd = rd, .ra = ra, .imm = amount});
+}
+ProgramBuilder& ProgramBuilder::jump(std::int64_t target) {
+  return emit({.op = Op::kJump, .imm = target});
+}
+ProgramBuilder& ProgramBuilder::beqz(Reg ra, std::int64_t target) {
+  return emit({.op = Op::kBeqz, .ra = ra, .imm = target});
+}
+ProgramBuilder& ProgramBuilder::bnez(Reg ra, std::int64_t target) {
+  return emit({.op = Op::kBnez, .ra = ra, .imm = target});
+}
+ProgramBuilder& ProgramBuilder::blt(Reg ra, Reg rb, std::int64_t target) {
+  return emit({.op = Op::kBlt, .ra = ra, .rb = rb, .imm = target});
+}
+ProgramBuilder& ProgramBuilder::compute(std::uint64_t cycles) {
+  return emit({.op = Op::kCompute, .imm = static_cast<std::int64_t>(cycles)});
+}
+ProgramBuilder& ProgramBuilder::memTouch(Reg base, std::int64_t offset,
+                                         std::uint32_t bytes,
+                                         std::uint32_t stride, bool write) {
+  return emit({.op = Op::kMemTouch,
+               .ra = base,
+               .flags = static_cast<std::uint8_t>(write ? kMemTouchWrite : 0),
+               .a = bytes,
+               .b = stride,
+               .imm = offset});
+}
+ProgramBuilder& ProgramBuilder::load(Reg rd, Reg base, std::int64_t offset) {
+  return emit({.op = Op::kLoad, .rd = rd, .ra = base, .imm = offset});
+}
+ProgramBuilder& ProgramBuilder::store(Reg base, Reg src, std::int64_t offset) {
+  return emit({.op = Op::kStore, .ra = base, .rb = src, .imm = offset});
+}
+ProgramBuilder& ProgramBuilder::cas(Reg rd, Reg addr, Reg expect,
+                                    Reg desired) {
+  return emit(
+      {.op = Op::kCas, .rd = rd, .ra = addr, .rb = expect, .flags = desired});
+}
+ProgramBuilder& ProgramBuilder::fetchAdd(Reg rd, Reg addr, Reg delta) {
+  return emit({.op = Op::kFetchAdd, .rd = rd, .ra = addr, .rb = delta});
+}
+ProgramBuilder& ProgramBuilder::syscall(std::int64_t nr) {
+  return emit({.op = Op::kSyscall, .imm = nr});
+}
+ProgramBuilder& ProgramBuilder::rtcall(std::int64_t fnId) {
+  return emit({.op = Op::kRtCall, .imm = fnId});
+}
+ProgramBuilder& ProgramBuilder::readTb(Reg rd) {
+  return emit({.op = Op::kReadTB, .rd = rd});
+}
+ProgramBuilder& ProgramBuilder::sample(Reg ra) {
+  return emit({.op = Op::kSample, .ra = ra});
+}
+ProgramBuilder& ProgramBuilder::halt(std::int64_t status) {
+  return emit({.op = Op::kHalt, .imm = status});
+}
+ProgramBuilder& ProgramBuilder::nop() { return emit({.op = Op::kNop}); }
+
+std::size_t ProgramBuilder::emitForwardBranch(Op op, Reg ra, Reg rb) {
+  assert(op == Op::kJump || op == Op::kBeqz || op == Op::kBnez ||
+         op == Op::kBlt);
+  const std::size_t idx = code_.size();
+  emit({.op = op, .ra = ra, .rb = rb, .imm = -1});
+  return idx;
+}
+
+void ProgramBuilder::patchTarget(std::size_t instrIndex,
+                                 std::int64_t target) {
+  assert(instrIndex < code_.size());
+  code_[instrIndex].imm = target;
+}
+
+std::int64_t ProgramBuilder::loopBegin(Reg counter, std::int64_t n) {
+  assert(n >= 1);
+  li(counter, n);
+  return label();
+}
+
+ProgramBuilder& ProgramBuilder::loopEnd(Reg counter, std::int64_t top) {
+  addi(counter, counter, -1);
+  return bnez(counter, top);
+}
+
+Program ProgramBuilder::build() && {
+  return Program(std::move(name_), std::move(code_));
+}
+
+}  // namespace bg::vm

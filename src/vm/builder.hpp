@@ -1,0 +1,86 @@
+// Fluent builder for VM programs, with labels and structured loops.
+//
+// Workload authors (src/apps) use this DSL instead of hand-writing
+// instruction vectors:
+//
+//   ProgramBuilder b("fwq");
+//   b.li(R, 12000);
+//   auto top = b.label();
+//   b.compute(2574);
+//   b.addi(R, R, -1).bnez(R, top);
+//   b.halt();
+//   Program p = std::move(b).build();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace bg::vm {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Position of the next emitted instruction; use as a branch target.
+  std::int64_t label() const { return static_cast<std::int64_t>(code_.size()); }
+
+  ProgramBuilder& li(Reg rd, std::int64_t imm);
+  ProgramBuilder& mov(Reg rd, Reg ra);
+  ProgramBuilder& add(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& addi(Reg rd, Reg ra, std::int64_t imm);
+  ProgramBuilder& sub(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& mul(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& andr(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& orr(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& xorr(Reg rd, Reg ra, Reg rb);
+  ProgramBuilder& shl(Reg rd, Reg ra, std::int64_t amount);
+  ProgramBuilder& shr(Reg rd, Reg ra, std::int64_t amount);
+  ProgramBuilder& jump(std::int64_t target);
+  ProgramBuilder& beqz(Reg ra, std::int64_t target);
+  ProgramBuilder& bnez(Reg ra, std::int64_t target);
+  ProgramBuilder& blt(Reg ra, Reg rb, std::int64_t target);
+  ProgramBuilder& compute(std::uint64_t cycles);
+  ProgramBuilder& memTouch(Reg base, std::int64_t offset,
+                           std::uint32_t bytes, std::uint32_t stride = 0,
+                           bool write = false);
+  ProgramBuilder& load(Reg rd, Reg base, std::int64_t offset = 0);
+  ProgramBuilder& store(Reg base, Reg src, std::int64_t offset = 0);
+  ProgramBuilder& cas(Reg rd, Reg addr, Reg expect, Reg desired);
+  ProgramBuilder& fetchAdd(Reg rd, Reg addr, Reg delta);
+  /// r0 = syscall(nr) with args already placed in r1..r6 by caller code.
+  ProgramBuilder& syscall(std::int64_t nr);
+  ProgramBuilder& rtcall(std::int64_t fnId);
+  ProgramBuilder& readTb(Reg rd);
+  ProgramBuilder& sample(Reg ra);
+  ProgramBuilder& halt(std::int64_t status = 0);
+  ProgramBuilder& nop();
+
+  /// Emit a forward jump placeholder; returns the instruction index to
+  /// patch later with patchTarget().
+  std::size_t emitForwardBranch(Op op, Reg ra = 0, Reg rb = 0);
+  void patchTarget(std::size_t instrIndex, std::int64_t target);
+  void patchHere(std::size_t instrIndex) { patchTarget(instrIndex, label()); }
+
+  /// Structured counted loop: loopBegin(reg, n) ... loopEnd(reg).
+  /// The body executes exactly n times (n >= 1).
+  std::int64_t loopBegin(Reg counter, std::int64_t n);
+  ProgramBuilder& loopEnd(Reg counter, std::int64_t top);
+
+  std::size_t size() const { return code_.size(); }
+
+  Program build() &&;
+
+ private:
+  ProgramBuilder& emit(Instr in) {
+    code_.push_back(in);
+    return *this;
+  }
+  std::string name_;
+  std::vector<Instr> code_;
+};
+
+}  // namespace bg::vm

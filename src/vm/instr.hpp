@@ -1,0 +1,74 @@
+// Instruction set of the workload virtual machine.
+//
+// We do not emulate the PPC450 ISA. Workloads (FWQ, LINPACK proxy,
+// allreduce, ...) are expressed as small deterministic programs over 32
+// virtual registers, with explicit cost-bearing instructions for
+// compute blocks and memory traffic. This keeps simulated cycle counts
+// a first-class, exactly-reproducible quantity — which is the property
+// the paper's bringup methodology (§III) depends on.
+#pragma once
+
+#include <cstdint>
+
+namespace bg::vm {
+
+using Reg = std::uint8_t;  // register index, 0..31
+inline constexpr int kNumRegs = 32;
+
+// ABI convention used by the runtime: r0 holds syscall/rtcall results,
+// r1..r6 hold arguments.
+inline constexpr Reg kRetReg = 0;
+inline constexpr Reg kArg0 = 1;
+
+enum class Op : std::uint8_t {
+  kHalt,     // terminate thread; r1 = exit status
+  kLi,       // rd = imm
+  kMov,      // rd = ra
+  kAdd,      // rd = ra + rb
+  kAddi,     // rd = ra + imm
+  kSub,      // rd = ra - rb
+  kMul,      // rd = ra * rb
+  kAnd,      // rd = ra & rb
+  kOr,       // rd = ra | rb
+  kXor,      // rd = ra ^ rb
+  kShl,      // rd = ra << (imm & 63)
+  kShr,      // rd = ra >> (imm & 63)
+  kJump,     // pc = imm
+  kBeqz,     // if (ra == 0) pc = imm
+  kBnez,     // if (ra != 0) pc = imm
+  kBlt,      // if (ra < rb) pc = imm   (unsigned)
+  kCompute,  // burn imm cycles of pure computation (no memory traffic)
+  kMemTouch, // touch a(bytes) of memory at vaddr ra+imm, stride b,
+             // write if flags&1; cost comes from the cache/TLB model
+  kLoad,     // rd = *(u64*)(ra + imm); real data via MMU
+  kStore,    // *(u64*)(ra + imm) = rb; real data via MMU
+  kCas,      // atomic: if (*(u64*)(ra) == rb) { *(ra) = imm-reg b? }
+             // encoding: rd = old value; compare rb, swap in reg flags
+  kFetchAdd, // rd = atomic_fetch_add((u64*)(ra), rb)
+  kSyscall,  // r0 = kernel syscall; imm = syscall number, args r1..r6
+  kRtCall,   // r0 = user-runtime call; imm = function id, args r1..r6
+  kReadTB,   // rd = current timebase (cycle counter)
+  kSample,   // append ra to the thread's host-visible sample buffer
+  kNop,
+};
+
+/// One decoded instruction. `a`/`b` are operand fields whose meaning is
+/// per-op (see Op comments); imm is a 64-bit immediate.
+struct Instr {
+  Op op = Op::kNop;
+  Reg rd = 0;
+  Reg ra = 0;
+  Reg rb = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t a = 0;  // kMemTouch: byte count
+  std::uint32_t b = 0;  // kMemTouch: stride (0 => sequential lines)
+  std::int64_t imm = 0;
+};
+
+/// kCas detail: rd = old; success iff old == regs[rb]; on success the
+/// stored value is regs[flags] (flags doubles as a register index).
+inline constexpr std::uint8_t kMemTouchWrite = 1;
+
+const char* opName(Op op);
+
+}  // namespace bg::vm

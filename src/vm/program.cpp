@@ -1,0 +1,54 @@
+#include "vm/program.hpp"
+
+#include <sstream>
+
+namespace bg::vm {
+
+const char* opName(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kLi: return "li";
+    case Op::kMov: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kAddi: return "addi";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kJump: return "jump";
+    case Op::kBeqz: return "beqz";
+    case Op::kBnez: return "bnez";
+    case Op::kBlt: return "blt";
+    case Op::kCompute: return "compute";
+    case Op::kMemTouch: return "memtouch";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kCas: return "cas";
+    case Op::kFetchAdd: return "fetchadd";
+    case Op::kSyscall: return "syscall";
+    case Op::kRtCall: return "rtcall";
+    case Op::kReadTB: return "readtb";
+    case Op::kSample: return "sample";
+    case Op::kNop: return "nop";
+  }
+  return "?";
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  os << "; program " << name_ << " (" << code_.size() << " instrs)\n";
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& in = code_[i];
+    os << i << ":\t" << opName(in.op) << " rd=" << int(in.rd)
+       << " ra=" << int(in.ra) << " rb=" << int(in.rb)
+       << " imm=" << in.imm;
+    if (in.a || in.b) os << " a=" << in.a << " b=" << in.b;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bg::vm

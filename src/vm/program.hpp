@@ -1,0 +1,32 @@
+// A program is an immutable sequence of instructions plus metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/instr.hpp"
+
+namespace bg::vm {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instr> code)
+      : name_(std::move(name)), code_(std::move(code)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instr>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Instr& at(std::uint64_t pc) const { return code_[pc]; }
+  bool valid(std::uint64_t pc) const { return pc < code_.size(); }
+
+  /// Human-readable disassembly (debugging aid).
+  std::string disassemble() const;
+
+ private:
+  std::string name_;
+  std::vector<Instr> code_;
+};
+
+}  // namespace bg::vm

@@ -1,0 +1,46 @@
+// Shared helpers for kernel-level integration tests: build a cluster,
+// run one program, harvest its samples.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "vm/builder.hpp"
+
+namespace bg::test {
+
+struct RunResult {
+  bool booted = false;
+  bool loaded = false;
+  bool completed = false;
+  std::vector<std::uint64_t> samples;  // rank 0, thread 0
+};
+
+/// Boot a cluster, run `program` as a single-process job, return rank
+/// 0's main-thread samples. The cluster outlives the call via `out`.
+inline RunResult runProgram(rt::ClusterConfig cfg, vm::Program program,
+                            std::unique_ptr<rt::Cluster>* out = nullptr,
+                            kernel::JobSpec jobTemplate = {}) {
+  RunResult r;
+  auto cluster = std::make_unique<rt::Cluster>(cfg);
+  r.booted = cluster->bootAll(600'000'000);
+  if (!r.booted) return r;
+  kernel::JobSpec job = jobTemplate;
+  job.exe = kernel::ElfImage::makeExecutable("test", std::move(program));
+  cluster->attachSamples(0, 0, &r.samples);
+  r.loaded = cluster->loadJob(job);
+  if (r.loaded) r.completed = cluster->run(4'000'000'000ULL);
+  if (out != nullptr) *out = std::move(cluster);
+  return r;
+}
+
+/// Exit-the-program epilogue.
+inline void emitExit(vm::ProgramBuilder& b) {
+  b.li(vm::kArg0, 0);
+  b.syscall(static_cast<std::int64_t>(kernel::Sys::kExit));
+}
+
+}  // namespace bg::test

@@ -1,0 +1,102 @@
+// Tests: the capability registries behind Tables II and III are
+// complete, consistent, and encode the paper's qualitative claims.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cnk/capability.hpp"
+#include "fwk/capability.hpp"
+
+namespace bg {
+namespace {
+
+using kernel::Capability;
+using kernel::Ease;
+
+std::map<std::string, Capability> byFeature(
+    const std::vector<Capability>& v) {
+  std::map<std::string, Capability> m;
+  for (const auto& c : v) m[c.feature] = c;
+  return m;
+}
+
+TEST(Capability, BothRegistriesCoverTheCanonicalFeatureList) {
+  const auto features = kernel::capabilityFeatures();
+  const auto cnk = byFeature(cnk::cnkCapabilities());
+  const auto lnx = byFeature(fwk::linuxCapabilities());
+  EXPECT_EQ(features.size(), 11u);  // the paper's Table II row count
+  for (const auto& f : features) {
+    EXPECT_TRUE(cnk.contains(f)) << f;
+    EXPECT_TRUE(lnx.contains(f)) << f;
+  }
+  EXPECT_EQ(cnk.size(), features.size());
+  EXPECT_EQ(lnx.size(), features.size());
+}
+
+TEST(Capability, FeatureListHasNoDuplicates) {
+  const auto features = kernel::capabilityFeatures();
+  std::set<std::string> uniq(features.begin(), features.end());
+  EXPECT_EQ(uniq.size(), features.size());
+}
+
+TEST(Capability, EaseLabelsRoundTripAllValues) {
+  for (const Ease e :
+       {Ease::kEasy, Ease::kMedium, Ease::kHard, Ease::kNotAvail,
+        Ease::kEasyToHard, Ease::kEasyToNotAvail, Ease::kMediumToHard}) {
+    EXPECT_STRNE(kernel::easeLabel(e), "?");
+    EXPECT_LT(kernel::easeRank(e), 6);
+  }
+}
+
+TEST(Capability, PaperTableIIOrderingsHold) {
+  const auto cnk = byFeature(cnk::cnkCapabilities());
+  const auto lnx = byFeature(fwk::linuxCapabilities());
+  auto cnkEasier = [&](const std::string& f) {
+    return kernel::easeRank(cnk.at(f).use) <
+           kernel::easeRank(lnx.at(f).use);
+  };
+  auto lnxEasier = [&](const std::string& f) {
+    return kernel::easeRank(lnx.at(f).use) <
+           kernel::easeRank(cnk.at(f).use);
+  };
+  // The LWK wins on performance-shaped capabilities...
+  EXPECT_TRUE(cnkEasier("Large page use"));
+  EXPECT_TRUE(cnkEasier("No TLB misses"));
+  EXPECT_TRUE(cnkEasier("Large physically contiguous memory"));
+  EXPECT_TRUE(cnkEasier("Predictable scheduling"));
+  EXPECT_TRUE(cnkEasier("Performance reproducible"));
+  EXPECT_TRUE(cnkEasier("Cycle reproducible execution"));
+  // ...the FWK on generality-shaped ones (paper §VII).
+  EXPECT_TRUE(lnxEasier("Full memory protection"));
+  EXPECT_TRUE(lnxEasier("General dynamic linking"));
+  EXPECT_TRUE(lnxEasier("Full mmap support"));
+}
+
+TEST(Capability, TableIIIOnlyMissingCapabilitiesNeedImplementing) {
+  // For everything CNK lists as not-avail, an implement difficulty is
+  // recorded (Table III's CNK column), and it is never "not avail"
+  // (everything is implementable, at some cost).
+  for (const auto& c : cnk::cnkCapabilities()) {
+    if (c.use == Ease::kNotAvail) {
+      EXPECT_NE(c.implement, Ease::kNotAvail) << c.feature;
+    }
+  }
+  for (const auto& c : fwk::linuxCapabilities()) {
+    if (c.use == Ease::kNotAvail || c.use == Ease::kEasyToHard) {
+      EXPECT_NE(c.implement, Ease::kNotAvail) << c.feature;
+    }
+  }
+}
+
+TEST(Capability, NotesAreNonEmptyDocumentation) {
+  for (const auto& c : cnk::cnkCapabilities()) {
+    EXPECT_FALSE(c.note.empty()) << c.feature;
+  }
+  for (const auto& c : fwk::linuxCapabilities()) {
+    EXPECT_FALSE(c.note.empty()) << c.feature;
+  }
+}
+
+}  // namespace
+}  // namespace bg

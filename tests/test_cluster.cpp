@@ -1,0 +1,302 @@
+// Integration tests: Cluster assembly — multi-node/multi-I/O-node
+// topologies, pset routing of function-shipped I/O, rank wiring,
+// consoles, DUAL mode, shared memory, getcwd mirroring, stat/fstat,
+// file-backed mmap, and the FTQ companion benchmark.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/ftq.hpp"
+#include "cluster_test_util.hpp"
+#include "kernel/syscalls.hpp"
+#include "runtime/rt_ids.hpp"
+
+namespace bg {
+namespace {
+
+using test::emitExit;
+using test::runProgram;
+
+std::int64_t sys(kernel::Sys s) { return static_cast<std::int64_t>(s); }
+
+/// Emit code storing the NUL-terminated path (< 8 chars after the
+/// first 8) at heapBase+256, leaving the address in r21.
+void emitPath(vm::ProgramBuilder& b, const char* path) {
+  b.mov(21, 10);
+  b.addi(21, 21, 256);
+  const std::size_t len = std::strlen(path) + 1;
+  for (std::size_t i = 0; i < len; i += 8) {
+    std::uint64_t w = 0;
+    for (std::size_t j = 0; j < 8 && i + j < len; ++j) {
+      w |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(path[i + j]))
+           << (8 * j);
+    }
+    b.li(20, static_cast<std::int64_t>(w));
+    b.store(21, 20, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Cluster, PsetRoutingSendsEachNodeToItsIoNode) {
+  // 4 compute nodes, 2 I/O nodes, pset size 2: nodes 0,1 -> ION 0 and
+  // nodes 2,3 -> ION 1; each rank's checkpoint lands on its own ION.
+  rt::ClusterConfig cfg;
+  cfg.computeNodes = 4;
+  cfg.ioNodes = 2;
+  cfg.computeNodesPerIoNode = 2;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+
+  vm::ProgramBuilder b("t");
+  emitPath(b, "/tmp/x");
+  b.mov(1, 21);
+  b.li(2, static_cast<std::int64_t>(kernel::kOCreat | kernel::kOWronly));
+  b.syscall(sys(kernel::Sys::kOpen));
+  b.mov(16, 0);
+  b.mov(1, 16);
+  b.mov(2, 10);
+  b.li(3, 64);
+  b.syscall(sys(kernel::Sys::kWrite));
+  b.mov(1, 16);
+  b.syscall(sys(kernel::Sys::kClose));
+  emitExit(b);
+
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+
+  EXPECT_EQ(cluster.ciod(0).proxyCount(), 2u);
+  EXPECT_EQ(cluster.ciod(1).proxyCount(), 2u);
+  EXPECT_EQ(cluster.ciod(0).stats().errors, 0u);
+  EXPECT_EQ(cluster.ciod(1).stats().errors, 0u);
+  EXPECT_TRUE(cluster.ioRootFs(0).exists("/tmp/x"));
+  EXPECT_TRUE(cluster.ioRootFs(1).exists("/tmp/x"));
+}
+
+TEST(Cluster, DualModeRunsTwoProcessesTwoCoresEach) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  vm::ProgramBuilder b("t");
+  b.sample(1);  // rank
+  emitExit(b);
+  kernel::JobSpec job;
+  job.processes = 2;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::uint64_t> s0, s1;
+  cluster.attachSamples(0, 0, &s0);
+  cluster.attachSamples(1, 0, &s1);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  EXPECT_EQ(s0, std::vector<std::uint64_t>{0});
+  EXPECT_EQ(s1, std::vector<std::uint64_t>{1});
+  auto* cnk = cluster.cnkOn(0);
+  for (auto& p : cnk->processes()) {
+    EXPECT_EQ(cnk->coresOf(p->pid()).size(), 2u);
+  }
+}
+
+TEST(Cluster, SharedMemoryIsVisibleAcrossProcesses) {
+  // VN mode: rank 0 stores into the shared region (r12), rank 1 spins
+  // until the value appears — same physical range, no messaging.
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  vm::ProgramBuilder b("t");
+  const std::size_t toReader = b.emitForwardBranch(vm::Op::kBnez, 1);
+  // rank 0: write the flag.
+  b.compute(10'000);
+  b.li(16, 0xA5A5);
+  b.store(12, 16, 128);
+  emitExit(b);
+  b.patchHere(toReader);
+  // other ranks: rank 1 polls, ranks 2/3 exit immediately.
+  b.li(17, 1);
+  b.sub(17, 1, 17);
+  const std::size_t onlyRank1 = b.emitForwardBranch(vm::Op::kBnez, 17);
+  const auto poll = b.label();
+  b.load(16, 12, 128);
+  b.beqz(16, poll);
+  b.sample(16);
+  b.patchHere(onlyRank1);
+  emitExit(b);
+
+  kernel::JobSpec job;
+  job.processes = 4;
+  job.sharedMemBytes = 1 << 20;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::uint64_t> s1;
+  cluster.attachSamples(1, 0, &s1);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0], 0xA5A5u);
+}
+
+TEST(Cluster, GetcwdReflectsShippedChdir) {
+  // chdir is function-shipped; getcwd must come back from the ioproxy's
+  // mirrored state, not stale local state (paper Fig 2).
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  vm::ProgramBuilder b("t");
+  emitPath(b, "/tmp");
+  b.mov(1, 21);
+  b.syscall(sys(kernel::Sys::kChdir));
+  b.sample(0);
+  b.mov(1, 10);
+  b.addi(1, 1, 2048);
+  b.li(2, 64);
+  b.syscall(sys(kernel::Sys::kGetcwd));
+  b.sample(0);  // strlen+1 of "/tmp" = 5
+  b.load(16, 10, 2048);
+  b.sample(16);  // the bytes themselves
+  emitExit(b);
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::uint64_t> s;
+  cluster.attachSamples(0, 0, &s);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 5u);
+  // "/tmp\0" little-endian.
+  EXPECT_EQ(s[2] & 0xFFFFFFFFFFULL, 0x00706D742FULL);
+}
+
+TEST(Cluster, StatShipsAndFillsUserStruct) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  cluster.ioRootFs(0).putFile("/tmp/st",
+                              std::vector<std::byte>(123, std::byte{1}));
+  vm::ProgramBuilder b("t");
+  emitPath(b, "/tmp/st");
+  b.mov(1, 21);
+  b.mov(2, 10);
+  b.addi(2, 2, 4096);
+  b.syscall(sys(kernel::Sys::kStat));
+  b.sample(0);
+  b.load(16, 10, 4096);  // FileStat.size is the first field
+  b.sample(16);
+  emitExit(b);
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::uint64_t> s;
+  cluster.attachSamples(0, 0, &s);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 123u);
+}
+
+TEST(Cluster, FileBackedMmapCopiesInEagerly) {
+  // CNK §VI-A: "to mmap a file, CNK copies in the data" — one shipped
+  // read at map time, contents visible immediately afterwards.
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  std::vector<std::byte> contents(4096);
+  const std::uint64_t magic = 0x4D4D41502D464C45ULL;
+  std::memcpy(contents.data(), &magic, 8);
+  cluster.ioRootFs(0).putFile("/tmp/m", contents);
+
+  vm::ProgramBuilder b("t");
+  emitPath(b, "/tmp/m");
+  b.mov(1, 21);
+  b.li(2, 0);
+  b.syscall(sys(kernel::Sys::kOpen));
+  b.mov(16, 0);  // fd
+  // mmap(addr=0, len=4096, prot=R, flags=0 (file), fd, off=0)
+  b.li(1, 0);
+  b.li(2, 4096);
+  b.li(3, static_cast<std::int64_t>(kernel::kProtRead));
+  b.li(4, 0);
+  b.mov(5, 16);
+  b.syscall(sys(kernel::Sys::kMmap));
+  b.mov(17, 0);
+  b.sample(17);          // mapped address
+  b.load(18, 17, 0);
+  b.sample(18);          // magic, already present (no faulting later)
+  emitExit(b);
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::uint64_t> s;
+  cluster.attachSamples(0, 0, &s);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_GT(static_cast<std::int64_t>(s[0]), 0);
+  EXPECT_EQ(s[1], magic);
+}
+
+TEST(Cluster, GetMemRegionsCountsStaticMap) {
+  vm::ProgramBuilder b("t");
+  b.syscall(sys(kernel::Sys::kGetMemRegions));
+  b.sample(0);
+  emitExit(b);
+  kernel::JobSpec tmpl;
+  tmpl.sharedMemBytes = 1 << 20;
+  auto r = runProgram({}, std::move(b).build(), nullptr, tmpl);
+  ASSERT_TRUE(r.completed);
+  // text, data, heapStack, shared.
+  EXPECT_EQ(r.samples[0], 4u);
+}
+
+TEST(Cluster, ConsolesAreSeparatePerNode) {
+  rt::ClusterConfig cfg;
+  cfg.computeNodes = 2;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  vm::ProgramBuilder b("t");
+  // write(1, &rank_as_char, 1): store '0'+rank at heap.
+  b.addi(16, 1, '0');
+  b.mov(17, 10);
+  b.store(17, 16, 0);
+  b.li(1, 1);
+  b.mov(2, 10);
+  b.li(3, 1);
+  b.syscall(sys(kernel::Sys::kWrite));
+  emitExit(b);
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  EXPECT_EQ(cluster.consoleOf(0), "0");
+  EXPECT_EQ(cluster.consoleOf(1), "1");
+}
+
+TEST(FtqApp, WindowsCountUnitsAndNoiseShowsAsDeficit) {
+  auto run = [&](rt::KernelKind kind) {
+    rt::ClusterConfig cfg;
+    cfg.kernel = kind;
+    rt::Cluster cluster(cfg);
+    EXPECT_TRUE(cluster.bootAll());
+    apps::FtqParams fp;
+    fp.windows = 200;
+    kernel::JobSpec job;
+    job.exe = apps::ftqImage(fp);
+    std::vector<std::uint64_t> s;
+    cluster.attachSamples(0, 0, &s);
+    EXPECT_TRUE(cluster.loadJob(job));
+    EXPECT_TRUE(cluster.run());
+    return s;
+  };
+  const auto cnk = run(rt::KernelKind::kCnk);
+  const auto fwk = run(rt::KernelKind::kFwk);
+  ASSERT_EQ(cnk.size(), 200u);
+  ASSERT_EQ(fwk.size(), 200u);
+  // CNK: every window completes the same number of units.
+  const auto [cmn, cmx] = std::minmax_element(cnk.begin(), cnk.end());
+  EXPECT_EQ(*cmn, *cmx);
+  // FWK: some windows lose units to noise.
+  const auto [fmn, fmx] = std::minmax_element(fwk.begin(), fwk.end());
+  EXPECT_LT(*fmn, *fmx);
+  EXPECT_LE(*fmn, *cmn);
+}
+
+}  // namespace
+}  // namespace bg

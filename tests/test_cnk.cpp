@@ -1,0 +1,617 @@
+// Integration tests: the CNK kernel — boot, static mapping, the NPTL
+// syscall subset, guard pages, persistent memory, dynamic linking,
+// function-shipped I/O, RAS signalling, thread affinity.
+#include <gtest/gtest.h>
+
+#include "apps/fwq.hpp"
+#include "cluster_test_util.hpp"
+#include "kernel/syscalls.hpp"
+#include "runtime/rt_ids.hpp"
+
+namespace bg {
+namespace {
+
+using test::emitExit;
+using test::runProgram;
+using vm::Reg;
+
+std::int64_t sys(kernel::Sys s) { return static_cast<std::int64_t>(s); }
+std::int64_t rtc(rt::Rt r) { return static_cast<std::int64_t>(r); }
+
+// ---------------- boot ----------------
+
+TEST(CnkBoot, RunsAllPhasesAndSetsBootCycles) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  EXPECT_FALSE(cluster.kernelOn(0).booted());
+  ASSERT_TRUE(cluster.bootAll());
+  EXPECT_TRUE(cluster.kernelOn(0).booted());
+  EXPECT_EQ(cluster.kernelOn(0).bootCycles(), 100'000u);
+  EXPECT_EQ(cluster.kernelOn(0).bootLog().size(), 8u);
+}
+
+TEST(CnkBoot, LoadJobBeforeBootFails) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  kernel::JobSpec job;
+  vm::ProgramBuilder b("t");
+  emitExit(b);
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  EXPECT_FALSE(cluster.kernelOn(0).loadJob(job));
+}
+
+// ---------------- static map / memory syscalls ----------------
+
+TEST(CnkMemory, NoTlbRefillsDuringSteadyStateCompute) {
+  vm::ProgramBuilder b("t");
+  b.mov(16, 10);
+  const auto top = b.loopBegin(17, 50);
+  b.memTouch(16, 0, 8192);
+  b.compute(10'000);
+  b.loopEnd(17, top);
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(cluster->cnkOn(0)->tlbRefills(), 0u);
+}
+
+TEST(CnkMemory, BrkQueriesAndGrows) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 0);
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.sample(0);                    // current brk
+  b.mov(1, 0);
+  b.addi(1, 1, 1 << 20);
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.sample(0);                    // grown brk
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_EQ(r.samples[1], r.samples[0] + (1 << 20));
+}
+
+TEST(CnkMemory, BrkBeyondLimitIsRefusedLinuxStyle) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 14);                   // r14 = heapLimit at startup
+  b.addi(1, 1, 4096);             // beyond the limit
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.sample(0);                    // unchanged brk, not an error code
+  b.li(1, 0);
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.sample(0);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples[0], r.samples[1]);
+}
+
+TEST(CnkMemory, MmapProvidesAddressesAndMunmapReturnsThem) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 0);
+  b.li(2, 64 << 10);
+  b.li(3, static_cast<std::int64_t>(kernel::kProtRead | kernel::kProtWrite));
+  b.li(4, static_cast<std::int64_t>(kernel::kMapPrivate |
+                                    kernel::kMapAnonymous));
+  b.syscall(sys(kernel::Sys::kMmap));
+  b.sample(0);  // mapped address
+  b.mov(16, 0);
+  // The mapping is immediately usable (static map: no faults).
+  b.li(17, 42);
+  b.store(16, 17, 0);
+  b.load(18, 16, 0);
+  b.sample(18);
+  b.mov(1, 16);
+  b.li(2, 64 << 10);
+  b.syscall(sys(kernel::Sys::kMunmap));
+  b.sample(0);  // 0 on success
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 3u);
+  EXPECT_GT(static_cast<std::int64_t>(r.samples[0]), 0);
+  EXPECT_EQ(r.samples[1], 42u);
+  EXPECT_EQ(r.samples[2], 0u);
+}
+
+TEST(CnkMemory, TextIsModifiable) {
+  // No memory protection on CNK (paper §IV-B2): a store into the text
+  // region succeeds and really lands.
+  vm::ProgramBuilder b("t");
+  b.li(16, static_cast<std::int64_t>(cnk::kTextVBase));
+  b.li(17, 0xDEAD);
+  b.store(16, 17, 512);
+  b.load(18, 16, 512);
+  b.sample(18);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples[0], 0xDEADu);
+}
+
+TEST(CnkMemory, WildAccessDeliversSegvAndKillsWithoutHandler) {
+  vm::ProgramBuilder b("t");
+  b.li(16, 0x7FFF0000);  // unmapped
+  b.li(17, 1);
+  b.store(16, 17, 0);
+  b.sample(17);  // never reached
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);  // process died -> job "done"
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_EQ(cluster->processOfRank(0)->exitStatus, -1);
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 1u);
+}
+
+TEST(CnkMemory, Virt2PhysQueriesStaticMap) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.syscall(sys(kernel::Sys::kVirt2Phys));
+  b.sample(0);
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  kernel::Process* p = cluster->processOfRank(0);
+  const auto pa = cluster->kernelOn(0).resolveUser(*p, p->heapBase);
+  ASSERT_TRUE(pa);
+  EXPECT_EQ(r.samples[0], *pa);
+}
+
+// ---------------- NPTL subset ----------------
+
+TEST(CnkNptl, UnameReportsLinuxCompatibleRelease) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.syscall(sys(kernel::Sys::kUname));
+  b.sample(0);
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples[0], 0u);
+  kernel::Process* p = cluster->processOfRank(0);
+  const auto s =
+      cluster->kernelOn(0).readUserString(*p, p->heapBase, 32);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(*s, kernel::kCnkUnameRelease);
+}
+
+TEST(CnkNptl, CloneRejectsNonNptlFlags) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 0);  // fork-style flags: not supported on CNK (§VII-B)
+  b.syscall(sys(kernel::Sys::kClone));
+  b.sample(0);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(static_cast<std::int64_t>(r.samples[0]), -kernel::kEINVAL);
+}
+
+TEST(CnkNptl, PthreadCreateJoinRoundTrip) {
+  vm::ProgramBuilder b("t");
+  std::size_t fix = b.size();
+  b.li(1, -1);
+  b.li(2, 7);
+  b.rtcall(rtc(rt::Rt::kPthreadCreate));
+  b.sample(0);  // tid
+  b.mov(1, 0);
+  b.rtcall(rtc(rt::Rt::kPthreadJoin));
+  b.sample(0);  // join result 0
+  emitExit(b);
+  const auto worker = b.label();
+  b.compute(5'000);
+  b.halt();
+  b.patchTarget(fix, worker);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_GT(static_cast<std::int64_t>(r.samples[0]), 0);
+  EXPECT_EQ(r.samples[1], 0u);
+}
+
+TEST(CnkNptl, FutexWaitValueMismatchReturnsEagain) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);       // heap word == 0
+  b.li(2, static_cast<std::int64_t>(kernel::kFutexWait));
+  b.li(3, 99);        // expected value differs
+  b.syscall(sys(kernel::Sys::kFutex));
+  b.sample(0);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(static_cast<std::int64_t>(r.samples[0]), -kernel::kEAGAIN);
+}
+
+TEST(CnkNptl, MutexProvidesMutualExclusion) {
+  // 3 worker threads each do 200 lock/increment/unlock rounds on a
+  // shared counter; the final count proves no lost updates.
+  constexpr int kThreads = 3;
+  constexpr int kRounds = 200;
+  vm::ProgramBuilder b("t");
+  constexpr Reg rMutex = 16;
+  constexpr Reg rCount = 17;
+  constexpr Reg rTids = 18;
+  b.mov(rMutex, 10);
+  b.addi(rMutex, rMutex, 64);
+  b.mov(rCount, 10);
+  b.addi(rCount, rCount, 128);
+  b.mov(rTids, 10);
+  b.addi(rTids, rTids, 192);
+  std::vector<std::size_t> fixes;
+  for (int i = 0; i < kThreads; ++i) {
+    fixes.push_back(b.size());
+    b.li(1, -1);
+    b.li(2, 0);
+    b.rtcall(rtc(rt::Rt::kPthreadCreate));
+    b.store(rTids, 0, i * 8);
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    b.load(1, rTids, i * 8);
+    b.rtcall(rtc(rt::Rt::kPthreadJoin));
+  }
+  b.load(20, rCount, 0);
+  b.sample(20);
+  emitExit(b);
+
+  const auto worker = b.label();
+  // Workers recompute the shared addresses from the heap base (r10 is
+  // inherited through clone).
+  b.mov(rMutex, 10);
+  b.addi(rMutex, rMutex, 64);
+  b.mov(rCount, 10);
+  b.addi(rCount, rCount, 128);
+  const auto wtop = b.loopBegin(21, kRounds);
+  b.mov(1, rMutex);
+  b.rtcall(rtc(rt::Rt::kMutexLock));
+  b.load(22, rCount, 0);
+  b.addi(22, 22, 1);
+  b.store(rCount, 22, 0);
+  b.mov(1, rMutex);
+  b.rtcall(rtc(rt::Rt::kMutexUnlock));
+  b.loopEnd(21, wtop);
+  b.halt();
+  for (auto f : fixes) b.patchTarget(f, worker);
+
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 1u);
+  EXPECT_EQ(r.samples[0],
+            static_cast<std::uint64_t>(kThreads) * kRounds);
+}
+
+TEST(CnkNptl, SigactionHandlerRunsAndReturns) {
+  vm::ProgramBuilder b("t");
+  const std::size_t haddr = b.size();
+  b.li(1, static_cast<std::int64_t>(kernel::kSigUsr1));
+  b.li(2, -1);  // handler entry, patched
+  b.syscall(sys(kernel::Sys::kRtSigaction));
+  // Signal self via tgkill.
+  b.syscall(sys(kernel::Sys::kGettid));
+  b.mov(2, 0);
+  b.li(1, 0);
+  b.li(3, static_cast<std::int64_t>(kernel::kSigUsr1));
+  b.syscall(sys(kernel::Sys::kTgkill));
+  b.li(20, 7);
+  b.sample(20);  // reached after handler returns
+  emitExit(b);
+  const auto handler = b.label();
+  b.sample(1);   // r1 = signo inside the handler
+  b.syscall(sys(kernel::Sys::kRtSigreturn));
+  b.patchTarget(haddr + 1, handler);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_EQ(r.samples[0], static_cast<std::uint64_t>(kernel::kSigUsr1));
+  EXPECT_EQ(r.samples[1], 7u);
+}
+
+// ---------------- guard pages (Fig 4) ----------------
+
+TEST(CnkGuard, StackGuardTrapsViaDac) {
+  // The raw NPTL sequence the paper describes (§IV-C): mprotect the
+  // stack guard range, then clone — CNK remembers the last mprotect
+  // and attaches it to the new thread's DAC registers. A store into
+  // the guard then traps and, with no handler installed, kills.
+  vm::ProgramBuilder b("t");
+  b.mov(16, 10);
+  b.addi(16, 16, 256 << 10);  // guard range inside the arena
+  b.mov(1, 16);
+  b.li(2, 64 << 10);
+  b.li(3, 0);
+  b.syscall(sys(kernel::Sys::kMprotect));
+  // Raw clone: flags, stack, ptid, ctid, tls(=guard addr), startPc.
+  b.li(1, static_cast<std::int64_t>(kernel::kNptlCloneFlags));
+  b.mov(2, 16);
+  b.addi(2, 2, 128 << 10);  // "stack" above the guard
+  b.li(3, 0);
+  b.li(4, 0);
+  b.mov(5, 16);
+  std::size_t fix = b.size();
+  b.li(6, -1);  // startPc, patched
+  b.syscall(sys(kernel::Sys::kClone));
+  b.sample(0);         // child tid
+  b.compute(500'000);  // give the child time to trap
+  b.li(20, 1);
+  b.sample(20);
+  emitExit(b);
+  const auto worker = b.label();
+  b.mov(16, 1);        // r1 = tls = guard address
+  b.li(17, 5);
+  b.store(16, 17, 8);  // store INTO the guard -> DAC trap
+  b.halt();
+  b.patchTarget(fix, worker);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  // The guard trap is fatal to the process, so the main thread may not
+  // reach its second sample; the clone result must be there.
+  ASSERT_GE(r.samples.size(), 1u);
+  EXPECT_GT(static_cast<std::int64_t>(r.samples[0]), 0);
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 1u);
+}
+
+TEST(CnkGuard, HeapGrowthByOtherThreadRepositionsMainGuard) {
+  // Worker (on another core) extends brk past the main guard; CNK
+  // sends an IPI to the main core to reposition the DAC (paper §IV-C).
+  // Afterwards the main thread can write the newly-valid heap area.
+  vm::ProgramBuilder b("t");
+  std::size_t fix = b.size();
+  b.li(1, -1);
+  b.li(2, 0);
+  b.rtcall(rtc(rt::Rt::kPthreadCreate));
+  b.mov(1, 0);
+  b.rtcall(rtc(rt::Rt::kPthreadJoin));
+  // Main writes into the area that used to be guarded (just above the
+  // old brk = heapBase + 1MB).
+  b.mov(16, 10);
+  b.addi(16, 16, (1 << 20) + 64);
+  b.li(17, 123);
+  b.store(16, 17, 0);
+  b.load(18, 16, 0);
+  b.sample(18);
+  emitExit(b);
+  const auto worker = b.label();
+  b.li(1, 0);
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.mov(1, 0);
+  b.addi(1, 1, 2 << 20);  // extend heap by 2MB
+  b.syscall(sys(kernel::Sys::kBrk));
+  b.halt();
+  b.patchTarget(fix, worker);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 1u);
+  EXPECT_EQ(r.samples[0], 123u);
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 0u);
+  EXPECT_GE(cluster->cnkOn(0)->ipisSent(), 1u);
+}
+
+// ---------------- persistent memory (§IV-D) ----------------
+
+TEST(CnkPersist, LinkedListSurvivesJobBoundaryAtSameVaddr) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+
+  auto nameToHeap = [&](vm::ProgramBuilder& b) {
+    // Store the region name "ckpt" (NUL-terminated) at heapBase.
+    b.li(16, 0x74706B63);  // "ckpt" little-endian
+    b.mov(17, 10);
+    b.store(17, 16, 0);
+  };
+
+  // Job 1: open region, build a two-node linked list with real
+  // pointers, record the base address.
+  vm::ProgramBuilder b1("writer");
+  nameToHeap(b1);
+  b1.mov(1, 10);
+  b1.li(2, 1 << 20);
+  b1.syscall(sys(kernel::Sys::kPersistOpen));
+  b1.sample(0);               // region vaddr
+  b1.mov(16, 0);              // base
+  b1.addi(17, 16, 64);        // second node address
+  b1.store(16, 17, 0);        // node0.next = &node1
+  b1.li(18, 4242);
+  b1.store(17, 18, 8);        // node1.value = 4242
+  emitExit(b1);
+  kernel::JobSpec j1;
+  j1.exe = kernel::ElfImage::makeExecutable("w", std::move(b1).build());
+  std::vector<std::uint64_t> s1;
+  cluster.attachSamples(0, 0, &s1);
+  ASSERT_TRUE(cluster.loadJob(j1));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s1.size(), 1u);
+
+  // Job 2 (same node, new process): reopen by name and chase the
+  // pointer chain.
+  cluster.cnkOn(0)->unloadJob();
+  vm::ProgramBuilder b2("reader");
+  nameToHeap(b2);
+  b2.mov(1, 10);
+  b2.li(2, 1 << 20);
+  b2.syscall(sys(kernel::Sys::kPersistOpen));
+  b2.sample(0);               // must be the SAME vaddr
+  b2.mov(16, 0);
+  b2.load(17, 16, 0);         // follow node0.next
+  b2.load(18, 17, 8);         // read node1.value
+  b2.sample(18);
+  emitExit(b2);
+  kernel::JobSpec j2;
+  j2.exe = kernel::ElfImage::makeExecutable("r", std::move(b2).build());
+  std::vector<std::uint64_t> s2;
+  cluster.attachSamples(0, 0, &s2);
+  ASSERT_TRUE(cluster.loadJob(j2));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s2.size(), 2u);
+  EXPECT_EQ(s2[0], s1[0]);    // identical virtual address across jobs
+  EXPECT_EQ(s2[1], 4242u);    // pointer chain intact
+}
+
+// ---------------- scheduling / affinity ----------------
+
+TEST(CnkSched, VnModePlacesOneProcessPerCore) {
+  vm::ProgramBuilder b("t");
+  b.compute(1'000);
+  b.sample(1);  // rank
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  kernel::JobSpec tmpl;
+  tmpl.processes = 4;
+  auto r = runProgram({}, std::move(b).build(), &cluster, tmpl);
+  ASSERT_TRUE(r.completed);
+  auto* cnk = cluster->cnkOn(0);
+  for (auto& p : cnk->processes()) {
+    ASSERT_EQ(cnk->coresOf(p->pid()).size(), 1u);
+    EXPECT_EQ(p->mainThread()->ctx.coreAffinity,
+              cnk->coresOf(p->pid()).front());
+  }
+}
+
+TEST(CnkSched, ThreadSlotsAreBounded) {
+  // SMP mode, 4 cores x 3 slots = 12; main + 11 creates fit, the 12th
+  // clone fails with EAGAIN (paper: fixed number of threads per core).
+  constexpr int kCreates = 12;
+  vm::ProgramBuilder b("t");
+  std::vector<std::size_t> fixes;
+  for (int i = 0; i < kCreates; ++i) {
+    fixes.push_back(b.size());
+    b.li(1, -1);
+    b.li(2, 0);
+    b.rtcall(rtc(rt::Rt::kPthreadCreate));
+    b.sample(0);
+  }
+  emitExit(b);
+  const auto worker = b.label();
+  // Workers block forever on a futex (keeps slots occupied).
+  b.mov(1, 10);
+  b.addi(1, 1, 512);
+  b.li(2, static_cast<std::int64_t>(kernel::kFutexWait));
+  b.li(3, 0);
+  b.syscall(sys(kernel::Sys::kFutex));
+  b.halt();
+  for (auto f : fixes) b.patchTarget(f, worker);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  // Job cannot complete (workers blocked); run() hits the event cap or
+  // deadlock — we only inspect the creates.
+  ASSERT_EQ(r.samples.size(), static_cast<std::size_t>(kCreates));
+  int ok = 0, eagain = 0;
+  for (auto v : r.samples) {
+    if (static_cast<std::int64_t>(v) > 0) ++ok;
+    if (static_cast<std::int64_t>(v) == -kernel::kEAGAIN) ++eagain;
+  }
+  EXPECT_EQ(ok, 11);
+  EXPECT_EQ(eagain, 1);
+}
+
+TEST(CnkSched, ExtendedAffinityAllowsRemoteThreads) {
+  // VN mode: process 0 owns core 0 only (3 thread slots). The 3rd
+  // extra pthread does not fit without the §VIII extension; with a
+  // designated remote core it does — the "MPI phase then OpenMP
+  // phase" usage model.
+  auto runOnce = [&](bool extension) {
+    rt::ClusterConfig cfg;
+    cfg.cnk.remoteThreadExtension = extension;
+    rt::Cluster cluster(cfg);
+    EXPECT_TRUE(cluster.bootAll());
+    vm::ProgramBuilder b("t");
+    std::vector<std::size_t> fixes;
+    for (int i = 0; i < 3; ++i) {
+      fixes.push_back(b.size());
+      b.li(1, -1);
+      b.li(2, 0);
+      b.rtcall(rtc(rt::Rt::kPthreadCreate));
+      b.sample(0);
+    }
+    b.compute(200'000);  // let workers finish
+    emitExit(b);
+    const auto worker = b.label();
+    b.compute(2'000);
+    b.halt();
+    for (auto f : fixes) b.patchTarget(f, worker);
+    kernel::JobSpec job;
+    job.processes = 4;
+    job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+    std::vector<std::uint64_t> s;
+    cluster.attachSamples(0, 0, &s);
+    EXPECT_TRUE(cluster.loadJob(job));
+    if (extension) {
+      // Core 1 accepts remote threads from rank 0's process.
+      auto* cnk = cluster.cnkOn(0);
+      const std::uint32_t pid0 = cluster.processOfRank(0)->pid();
+      cnk->designateRemoteProcess(1, pid0);
+    }
+    EXPECT_TRUE(cluster.run());
+    std::vector<std::int64_t> out;
+    for (auto v : s) out.push_back(static_cast<std::int64_t>(v));
+    return out;
+  };
+  const auto without = runOnce(false);
+  ASSERT_EQ(without.size(), 3u);
+  EXPECT_GT(without[0], 0);
+  EXPECT_GT(without[1], 0);
+  EXPECT_EQ(without[2], -kernel::kEAGAIN);
+
+  const auto with = runOnce(true);
+  ASSERT_EQ(with.size(), 3u);
+  EXPECT_GT(with[2], 0);  // landed on the remote-designated core
+}
+
+TEST(CnkSched, NanosleepSpinsForDuration) {
+  vm::ProgramBuilder b("t");
+  b.readTb(16);
+  b.li(1, 100);  // 100us
+  b.syscall(sys(kernel::Sys::kNanosleep));
+  b.readTb(17);
+  b.sub(18, 17, 16);
+  b.sample(18);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_GE(r.samples[0], sim::usToCycles(100));
+  EXPECT_LT(r.samples[0], sim::usToCycles(120));
+}
+
+// ---------------- RAS (§V-B) ----------------
+
+TEST(CnkRas, L1ParityErrorSignalsApplicationForRecovery) {
+  vm::ProgramBuilder b("t");
+  const std::size_t sigSetup = b.size();
+  b.li(1, static_cast<std::int64_t>(kernel::kSigBus));
+  b.li(2, -1);
+  b.syscall(sys(kernel::Sys::kRtSigaction));
+  b.syscall(sys(kernel::Sys::kRasEvent));  // inject the parity error
+  b.compute(2'000);
+  b.li(20, 11);
+  b.sample(20);  // application continued without restart
+  emitExit(b);
+  const auto handler = b.label();
+  b.li(21, 77);
+  b.sample(21);  // recovery ran
+  b.syscall(sys(kernel::Sys::kRtSigreturn));
+  b.patchTarget(sigSetup + 1, handler);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_EQ(r.samples[0], 77u);
+  EXPECT_EQ(r.samples[1], 11u);
+}
+
+TEST(CnkRas, WithoutHandlerParityErrorIsFatal) {
+  vm::ProgramBuilder b("t");
+  b.syscall(sys(kernel::Sys::kRasEvent));
+  b.compute(2'000);
+  b.sample(1);
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 1u);
+}
+
+}  // namespace
+}  // namespace bg

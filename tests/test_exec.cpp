@@ -1,0 +1,222 @@
+// Execution-engine tests: instruction semantics, timebase behaviour,
+// atomics, batching, and fault edges — driven end-to-end through a
+// one-node CNK cluster (the simplest deterministic harness).
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace bg {
+namespace {
+
+using test::emitExit;
+using test::runProgram;
+using vm::Reg;
+
+TEST(Exec, ArithmeticAndLogic) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 10);
+  b.li(2, 3);
+  b.add(3, 1, 2);
+  b.sample(3);  // 13
+  b.sub(3, 1, 2);
+  b.sample(3);  // 7
+  b.mul(3, 1, 2);
+  b.sample(3);  // 30
+  b.andr(3, 1, 2);
+  b.sample(3);  // 2
+  b.orr(3, 1, 2);
+  b.sample(3);  // 11
+  b.xorr(3, 1, 2);
+  b.sample(3);  // 9
+  b.shl(3, 1, 3);
+  b.sample(3);  // 80
+  b.shr(3, 1, 1);
+  b.sample(3);  // 5
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples,
+            (std::vector<std::uint64_t>{13, 7, 30, 2, 11, 9, 80, 5}));
+}
+
+TEST(Exec, BranchesTakeAndFallThrough) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 0);
+  const std::size_t beqz = b.emitForwardBranch(vm::Op::kBeqz, 1);
+  b.li(2, 111);  // skipped
+  b.sample(2);
+  b.patchHere(beqz);
+  b.li(2, 222);
+  b.sample(2);
+  b.li(1, 5);
+  b.li(3, 9);
+  const std::size_t blt = b.emitForwardBranch(vm::Op::kBlt, 1, 3);
+  b.li(2, 333);  // skipped (5 < 9 taken)
+  b.sample(2);
+  b.patchHere(blt);
+  b.li(2, 444);
+  b.sample(2);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples, (std::vector<std::uint64_t>{222, 444}));
+}
+
+TEST(Exec, CountedLoopRunsExactly) {
+  vm::ProgramBuilder b("t");
+  b.li(2, 0);
+  const auto top = b.loopBegin(1, 37);
+  b.addi(2, 2, 1);
+  b.loopEnd(1, top);
+  b.sample(2);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples[0], 37u);
+}
+
+TEST(Exec, LoadStoreRoundTripThroughRealMemory) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.li(2, 0xDEADBEEFCAFE);
+  b.store(1, 2, 24);
+  b.load(3, 1, 24);
+  b.sample(3);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples[0], 0xDEADBEEFCAFEu);
+}
+
+TEST(Exec, CasSucceedsOnMatchFailsOnMismatch) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.li(2, 0);    // expected
+  b.li(4, 77);   // desired
+  b.cas(3, 1, 2, 4);
+  b.sample(3);   // old value 0 (success)
+  b.load(5, 1, 0);
+  b.sample(5);   // 77
+  b.li(2, 0);    // expected 0, but now 77
+  b.li(4, 99);
+  b.cas(3, 1, 2, 4);
+  b.sample(3);   // old value 77 (failure indicator)
+  b.load(5, 1, 0);
+  b.sample(5);   // still 77
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples, (std::vector<std::uint64_t>{0, 77, 77, 77}));
+}
+
+TEST(Exec, FetchAddAccumulates) {
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.li(2, 5);
+  b.fetchAdd(3, 1, 2);
+  b.sample(3);  // 0
+  b.fetchAdd(3, 1, 2);
+  b.sample(3);  // 5
+  b.load(4, 1, 0);
+  b.sample(4);  // 10
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.samples, (std::vector<std::uint64_t>{0, 5, 10}));
+}
+
+TEST(Exec, TimebaseAdvancesWithComputeExactly) {
+  vm::ProgramBuilder b("t");
+  b.readTb(1);
+  b.compute(12345);
+  b.readTb(2);
+  b.sub(3, 2, 1);
+  b.sample(3);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  // compute(12345) plus the readTb instruction itself.
+  EXPECT_EQ(r.samples[0], 12346u);
+}
+
+TEST(Exec, TimebaseMonotoneAcrossSliceBoundaries) {
+  // A long straight-line run crosses many slice boundaries; timebase
+  // reads must be strictly increasing with consistent deltas.
+  vm::ProgramBuilder b("t");
+  const auto top = b.loopBegin(1, 50);
+  b.readTb(2);
+  b.sample(2);
+  b.compute(1'000);
+  b.loopEnd(1, top);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 50u);
+  // Per iteration: readTb(1) + sample(1) + compute(1000) + addi(1) +
+  // bnez(1) = 1004 cycles, exactly, regardless of slice boundaries.
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    EXPECT_EQ(r.samples[i] - r.samples[i - 1], 1004u);
+  }
+}
+
+TEST(Exec, RunningOffProgramEndKillsThread) {
+  vm::ProgramBuilder b("t");
+  b.li(1, 1);  // no halt/exit: falls off the end
+  auto prog = std::move(b).build();
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(prog), &cluster);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 1u);
+}
+
+TEST(Exec, HaltSetsExitStatus) {
+  vm::ProgramBuilder b("t");
+  b.halt(42);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  kernel::Process* p = cluster->processOfRank(0);
+  EXPECT_EQ(p->exitStatus, 42);
+}
+
+TEST(Exec, SliceBatchingBoundsEventCount) {
+  // 10M cycles of 100-cycle computes = 100K instructions; with ~4000-
+  // cycle quanta the engine should process ~2500 slices, not 100K
+  // events — the batching that keeps the simulator fast.
+  vm::ProgramBuilder b("t");
+  const auto top = b.loopBegin(1, 100'000);
+  b.compute(100);
+  b.loopEnd(1, top);
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram({}, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  const auto& core = cluster->machine().node(0).core(0);
+  EXPECT_LT(core.slicesRun(), 10'000u);
+  EXPECT_GT(core.cyclesBusy(), 10'000'000u);
+}
+
+TEST(Exec, MemTouchCostReflectsCacheHierarchy) {
+  // Cold touch of 64KB (misses) vs immediate re-touch (L1-resident):
+  // the first must cost much more.
+  vm::ProgramBuilder b("t");
+  b.mov(1, 10);
+  b.readTb(2);
+  b.memTouch(1, 0, 16 << 10);
+  b.readTb(3);
+  b.sub(4, 3, 2);
+  b.sample(4);
+  b.readTb(2);
+  b.memTouch(1, 0, 16 << 10);
+  b.readTb(3);
+  b.sub(4, 3, 2);
+  b.sample(4);
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.samples[0], 3 * r.samples[1]);
+}
+
+}  // namespace
+}  // namespace bg

@@ -1,0 +1,146 @@
+// Unit tests: CNK's mmap range tracker — free-address provision,
+// freed-range coalescing, fixed mappings, permission bookkeeping
+// (paper §IV-C).
+#include <gtest/gtest.h>
+
+#include "cnk/mmap_tracker.hpp"
+
+namespace bg::cnk {
+namespace {
+
+constexpr hw::VAddr kLo = 0x40000000;
+constexpr hw::VAddr kHi = 0x50000000;  // 256MB zone
+
+class MmapTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { t.reset(kLo, kHi); }
+  MmapTracker t;
+};
+
+TEST_F(MmapTrackerTest, AllocatesFromTheTopDown) {
+  const auto a = t.alloc(4096);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a, kHi - 4096);
+  const auto b = t.alloc(4096);
+  ASSERT_TRUE(b);
+  EXPECT_LT(*b, *a);
+}
+
+TEST_F(MmapTrackerTest, RoundsLengthToAlignment) {
+  const auto a = t.alloc(100);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(*a % 4096, 0u);
+  EXPECT_TRUE(t.isAllocated(*a + 4095));
+  EXPECT_FALSE(t.isAllocated(*a + 4096));
+}
+
+TEST_F(MmapTrackerTest, FreeCoalescesWithNeighbors) {
+  const auto a = t.alloc(4096);
+  const auto b = t.alloc(4096);
+  const auto c = t.alloc(4096);
+  ASSERT_TRUE(a && b && c);
+  // Free outer two, then the middle: all three merge back with the
+  // big free block -> a single free region again.
+  EXPECT_TRUE(t.free(*a, 4096));
+  EXPECT_TRUE(t.free(*c, 4096));
+  EXPECT_TRUE(t.free(*b, 4096));
+  EXPECT_EQ(t.freeBlockCount(), 1u);
+  EXPECT_EQ(t.bytesAllocated(), 0u);
+}
+
+TEST_F(MmapTrackerTest, ReusesFreedSpace) {
+  const auto a = t.alloc(1 << 20);
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(t.free(*a, 1 << 20));
+  const auto b = t.alloc(1 << 20);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(MmapTrackerTest, FailsWhenExhausted) {
+  const auto a = t.alloc(kHi - kLo);
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(t.alloc(4096).has_value());
+  EXPECT_TRUE(t.free(*a, kHi - kLo));
+  EXPECT_TRUE(t.alloc(4096).has_value());
+}
+
+TEST_F(MmapTrackerTest, FixedMappingInsideFreeSpace) {
+  EXPECT_TRUE(t.allocFixed(kLo + 0x1000, 0x2000));
+  EXPECT_TRUE(t.isAllocated(kLo + 0x1000));
+  // Overlap rejected.
+  EXPECT_FALSE(t.allocFixed(kLo + 0x2000, 0x2000));
+  // Outside the zone rejected.
+  EXPECT_FALSE(t.allocFixed(kHi, 0x1000));
+}
+
+TEST_F(MmapTrackerTest, PartialUnmapSplitsAllocation) {
+  const auto a = t.alloc(3 * 4096);
+  ASSERT_TRUE(a);
+  // Unmap the middle page.
+  EXPECT_TRUE(t.free(*a + 4096, 4096));
+  EXPECT_TRUE(t.isAllocated(*a));
+  EXPECT_FALSE(t.isAllocated(*a + 4096));
+  EXPECT_TRUE(t.isAllocated(*a + 2 * 4096));
+  EXPECT_EQ(t.bytesAllocated(), 2u * 4096);
+}
+
+TEST_F(MmapTrackerTest, FreeUnknownRangeFails) {
+  EXPECT_FALSE(t.free(kLo + 0x5000, 4096));
+}
+
+TEST_F(MmapTrackerTest, SetProtSplitsAndRecoalesces) {
+  const auto a = t.alloc(4 * 4096);
+  ASSERT_TRUE(a);
+  // Protect an inner subrange -> three bookkeeping blocks.
+  EXPECT_TRUE(t.setProt(*a + 4096, 4096, hw::kPermNone));
+  EXPECT_EQ(t.allocatedBlockCount(), 3u);
+  // Restore -> coalesces back to one (the paper's "coalesces ... when
+  // permissions on those buffers change").
+  EXPECT_TRUE(t.setProt(*a + 4096, 4096, hw::kPermRW));
+  EXPECT_EQ(t.allocatedBlockCount(), 1u);
+}
+
+TEST_F(MmapTrackerTest, SetProtOutsideAllocationFails) {
+  EXPECT_FALSE(t.setProt(kLo, 4096, hw::kPermNone));
+}
+
+TEST_F(MmapTrackerTest, LowestAllocatedTracksZoneFloor) {
+  EXPECT_EQ(t.lowestAllocated(), kHi);  // nothing allocated
+  const auto a = t.alloc(4096);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(t.lowestAllocated(), *a);
+}
+
+// Property: a random alloc/free workload never corrupts the books.
+TEST_F(MmapTrackerTest, RandomWorkloadConservesBytes) {
+  std::vector<std::pair<hw::VAddr, std::uint64_t>> live;
+  std::uint64_t expect = 0;
+  std::uint64_t seed = 99;
+  auto rnd = [&] {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rnd() % 2 == 0) {
+      const std::uint64_t len = ((rnd() % 64) + 1) * 4096;
+      const auto a = t.alloc(len);
+      if (a) {
+        live.emplace_back(*a, len);
+        expect += len;
+      }
+    } else {
+      const std::size_t k = rnd() % live.size();
+      EXPECT_TRUE(t.free(live[k].first, live[k].second));
+      expect -= live[k].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    ASSERT_EQ(t.bytesAllocated(), expect);
+  }
+  for (const auto& [addr, len] : live) EXPECT_TRUE(t.free(addr, len));
+  EXPECT_EQ(t.bytesAllocated(), 0u);
+  EXPECT_EQ(t.freeBlockCount(), 1u);  // fully coalesced
+}
+
+}  // namespace
+}  // namespace bg::cnk

@@ -1,0 +1,122 @@
+// Integration tests: cycle reproducibility (paper §III) — the
+// property the whole bringup methodology hangs on.
+#include <gtest/gtest.h>
+
+#include "apps/fwq.hpp"
+#include "cluster_test_util.hpp"
+
+namespace bg {
+namespace {
+
+struct Witness {
+  std::vector<std::uint64_t> samples;
+  std::uint64_t finalScan = 0;
+  sim::Cycle doneAt = 0;
+};
+
+Witness fwqWitness(rt::KernelKind kind, std::uint64_t entropy,
+                   int samples = 40) {
+  rt::ClusterConfig cfg;
+  cfg.kernel = kind;
+  cfg.fwk.entropy = entropy;
+  rt::Cluster cluster(cfg);
+  Witness w;
+  if (!cluster.bootAll()) return w;
+  apps::FwqParams fp;
+  fp.samples = samples;
+  kernel::JobSpec job;
+  job.exe = apps::fwqImage(fp);
+  cluster.attachSamples(0, 0, &w.samples);
+  if (!cluster.loadJob(job)) return w;
+  cluster.run(2'000'000'000ULL);
+  w.finalScan = cluster.machine().scanHash();
+  w.doneAt = cluster.engine().now();
+  return w;
+}
+
+TEST(Repro, CnkRunsAreBitIdentical) {
+  const Witness a = fwqWitness(rt::KernelKind::kCnk, 1);
+  const Witness b = fwqWitness(rt::KernelKind::kCnk, 2);
+  ASSERT_FALSE(a.samples.empty());
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.finalScan, b.finalScan);
+  EXPECT_EQ(a.doneAt, b.doneAt);
+}
+
+TEST(Repro, FwkRunsDivergeAcrossBoots) {
+  const Witness a = fwqWitness(rt::KernelKind::kFwk, 1);
+  const Witness b = fwqWitness(rt::KernelKind::kFwk, 2);
+  ASSERT_FALSE(a.samples.empty());
+  // Boot entropy (clocksource calibration, interrupt timing) shifts
+  // everything: completion cycles cannot line up.
+  EXPECT_NE(a.doneAt, b.doneAt);
+}
+
+TEST(Repro, CnkReproducibleResetRestartsIdentically) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  apps::FwqParams fp;
+  fp.samples = 30;
+
+  auto runJob = [&](std::vector<std::uint64_t>* sink) {
+    kernel::JobSpec job;
+    job.exe = apps::fwqImage(fp);
+    cluster.attachSamples(0, 0, sink);
+    ASSERT_TRUE(cluster.loadJob(job));
+    ASSERT_TRUE(cluster.run(2'000'000'000ULL));
+  };
+
+  std::vector<std::uint64_t> runA, runB;
+  runJob(&runA);
+
+  bool restarted = false;
+  cluster.cnkOn(0)->requestReproducibleReset([&] { restarted = true; });
+  cluster.engine().runWhile([&] { return restarted; }, 1'000'000);
+  ASSERT_TRUE(restarted);
+  EXPECT_EQ(cluster.cnkOn(0)->reproducibleResets(), 1u);
+
+  runJob(&runB);
+  ASSERT_EQ(runA.size(), runB.size());
+  EXPECT_EQ(runA, runB);
+}
+
+TEST(Repro, DramContentsSurviveSelfRefreshReset) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  hw::PhysMem& mem = cluster.machine().node(0).mem();
+  const hw::PAddr probe = mem.size() - (8ULL << 20);
+  mem.write64(probe, 0x123456789ABCDEFULL);
+  bool restarted = false;
+  cluster.cnkOn(0)->requestReproducibleReset([&] { restarted = true; });
+  cluster.engine().runWhile([&] { return restarted; }, 1'000'000);
+  ASSERT_TRUE(restarted);
+  EXPECT_EQ(mem.read64(probe), 0x123456789ABCDEFULL);
+}
+
+TEST(Repro, ScanHashDetectsSingleBitOfStateChange) {
+  // Two identical machines; poke one register file -> scans diverge.
+  hw::MachineConfig mc;
+  hw::Machine a(mc), b(mc);
+  EXPECT_EQ(a.scanHash(), b.scanHash());
+  hw::TlbEntry e;
+  e.pid = 1;
+  e.vaddr = 0x100000;
+  e.paddr = 0x100000;
+  e.size = hw::kPage1M;
+  e.perms = hw::kPermRW;
+  e.valid = true;
+  b.node(0).core(0).mmu().install(e);
+  EXPECT_NE(a.scanHash(), b.scanHash());
+}
+
+TEST(Repro, EngineEventCountsAreDeterministic) {
+  const Witness a = fwqWitness(rt::KernelKind::kCnk, 7, 10);
+  const Witness b = fwqWitness(rt::KernelKind::kCnk, 7, 10);
+  EXPECT_EQ(a.doneAt, b.doneAt);
+  EXPECT_EQ(a.finalScan, b.finalScan);
+}
+
+}  // namespace
+}  // namespace bg

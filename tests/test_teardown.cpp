@@ -1,0 +1,153 @@
+// Lifecycle edge cases: job teardown after crashes, repeated jobs,
+// out-of-memory behaviour, and multi-node VN-mode rank spaces.
+#include <gtest/gtest.h>
+
+#include "cluster_test_util.hpp"
+#include "kernel/syscalls.hpp"
+#include "runtime/rt_ids.hpp"
+
+namespace bg {
+namespace {
+
+using test::emitExit;
+using test::runProgram;
+
+std::int64_t sys(kernel::Sys s) { return static_cast<std::int64_t>(s); }
+
+TEST(Teardown, CleanJobRunsAfterACrashedOne) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+
+  // Job 1 crashes (wild store).
+  vm::ProgramBuilder crash("crash");
+  crash.li(16, 0x70000000);
+  crash.li(17, 1);
+  crash.store(16, 17, 0);
+  emitExit(crash);
+  kernel::JobSpec j1;
+  j1.exe = kernel::ElfImage::makeExecutable("crash",
+                                            std::move(crash).build());
+  ASSERT_TRUE(cluster.loadJob(j1));
+  ASSERT_TRUE(cluster.run());
+  EXPECT_EQ(cluster.processOfRank(0)->exitStatus, -1);
+
+  // Job 2 on the same kernel must be unaffected.
+  cluster.cnkOn(0)->unloadJob();
+  vm::ProgramBuilder ok("ok");
+  ok.li(16, 7);
+  ok.sample(16);
+  emitExit(ok);
+  kernel::JobSpec j2;
+  j2.exe = kernel::ElfImage::makeExecutable("ok", std::move(ok).build());
+  std::vector<std::uint64_t> s;
+  cluster.attachSamples(0, 0, &s);
+  ASSERT_TRUE(cluster.loadJob(j2));
+  ASSERT_TRUE(cluster.run());
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 7u);
+  EXPECT_EQ(cluster.processOfRank(0)->exitStatus, 0);
+}
+
+TEST(Teardown, ManySequentialJobsDoNotLeakTlbOrScheduler) {
+  rt::ClusterConfig cfg;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  for (int run = 0; run < 10; ++run) {
+    cluster.cnkOn(0)->unloadJob();
+    vm::ProgramBuilder b("t");
+    b.mov(16, 10);
+    b.li(17, run);
+    b.store(16, 17, 0);
+    b.load(18, 16, 0);
+    b.sample(18);
+    emitExit(b);
+    kernel::JobSpec job;
+    job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+    std::vector<std::uint64_t> s;
+    cluster.attachSamples(0, 0, &s);
+    ASSERT_TRUE(cluster.loadJob(job)) << "run " << run;
+    ASSERT_TRUE(cluster.run()) << "run " << run;
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0], static_cast<std::uint64_t>(run));
+  }
+  // TLB never exceeds capacity; scheduler slots hold only live threads.
+  EXPECT_LE(cluster.machine().node(0).core(0).mmu().validCount(), 64);
+}
+
+TEST(Teardown, CnkMmapExhaustionReturnsEnomem) {
+  // Eat the entire mmap zone, then one more: -ENOMEM, not a crash.
+  vm::ProgramBuilder b("t");
+  b.li(20, 0);  // allocation counter
+  const auto top = b.label();
+  b.li(1, 0);
+  b.li(2, 64 << 20);
+  b.li(3, 3);
+  b.li(4, static_cast<std::int64_t>(kernel::kMapPrivate |
+                                    kernel::kMapAnonymous));
+  b.syscall(sys(kernel::Sys::kMmap));
+  b.addi(20, 20, 1);
+  // Loop until mmap fails (returns -errno => top bit set => huge).
+  b.li(21, 1);
+  b.shl(21, 21, 63);
+  b.blt(0, 21, top);  // success (< 2^63): allocate again
+  b.sample(0);        // the failing return value
+  b.sample(20);       // how many 64MB chunks fit
+  emitExit(b);
+  auto r = runProgram({}, std::move(b).build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.samples.size(), 2u);
+  EXPECT_EQ(static_cast<std::int64_t>(r.samples[0]), -kernel::kENOMEM);
+  EXPECT_GE(r.samples[1], 2u);   // a few chunks fit before exhaustion
+  EXPECT_LT(r.samples[1], 16u);  // and not infinitely many
+}
+
+TEST(Teardown, FwkFrameExhaustionKillsFaultingThread) {
+  // Touch far more anonymous memory than the node has frames: demand
+  // paging eventually cannot allocate and the toucher dies (OOM).
+  rt::ClusterConfig cfg;
+  cfg.kernel = rt::KernelKind::kFwk;
+  cfg.node.memBytes = 96ULL << 20;  // small node
+  cfg.fwk.kernelReservedBytes = 16ULL << 20;
+  vm::ProgramBuilder b("t");
+  b.mov(16, 10);
+  const auto top = b.loopBegin(17, 120'000);  // ~480MB of pages
+  b.li(18, 1);
+  b.store(16, 18, 0);
+  b.addi(16, 16, 4096);
+  b.loopEnd(17, top);
+  b.sample(17);  // unreachable
+  emitExit(b);
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = runProgram(cfg, std::move(b).build(), &cluster);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.samples.empty());
+  EXPECT_EQ(cluster->kernelOn(0).threadsKilled(), 1u);
+}
+
+TEST(Teardown, VnModeAcrossNodesGetsGlobalRankSpace) {
+  rt::ClusterConfig cfg;
+  cfg.computeNodes = 2;
+  rt::Cluster cluster(cfg);
+  ASSERT_TRUE(cluster.bootAll());
+  vm::ProgramBuilder b("t");
+  b.sample(1);  // rank
+  b.sample(2);  // npes
+  emitExit(b);
+  kernel::JobSpec job;
+  job.processes = 4;
+  job.exe = kernel::ElfImage::makeExecutable("t", std::move(b).build());
+  std::vector<std::vector<std::uint64_t>> s(8);
+  for (int r = 0; r < 8; ++r) cluster.attachSamples(r, 0, &s[r]);
+  ASSERT_TRUE(cluster.loadJob(job));
+  ASSERT_TRUE(cluster.run());
+  for (int r = 0; r < 8; ++r) {
+    ASSERT_EQ(s[r].size(), 2u) << "rank " << r;
+    EXPECT_EQ(s[r][0], static_cast<std::uint64_t>(r));
+    EXPECT_EQ(s[r][1], 8u);
+  }
+  EXPECT_EQ(cluster.worldSize(), 8);
+}
+
+}  // namespace
+}  // namespace bg

@@ -1,0 +1,111 @@
+// Unit tests: VM instruction encoding, the program builder, loops and
+// branch patching.
+#include <gtest/gtest.h>
+
+#include "vm/builder.hpp"
+#include "vm/program.hpp"
+
+namespace bg::vm {
+namespace {
+
+TEST(Builder, EmitsInstructionsInOrder) {
+  ProgramBuilder b("t");
+  b.li(1, 42).addi(2, 1, 8).halt();
+  Program p = std::move(b).build();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).op, Op::kLi);
+  EXPECT_EQ(p.at(0).rd, 1);
+  EXPECT_EQ(p.at(0).imm, 42);
+  EXPECT_EQ(p.at(1).op, Op::kAddi);
+  EXPECT_EQ(p.at(2).op, Op::kHalt);
+}
+
+TEST(Builder, LabelPointsToNextInstruction) {
+  ProgramBuilder b("t");
+  b.nop();
+  EXPECT_EQ(b.label(), 1);
+  b.nop();
+  EXPECT_EQ(b.label(), 2);
+}
+
+TEST(Builder, LoopStructureDecrementsAndBranches) {
+  ProgramBuilder b("t");
+  const auto top = b.loopBegin(5, 10);
+  b.compute(100);
+  b.loopEnd(5, top);
+  Program p = std::move(b).build();
+  // li, compute, addi, bnez
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(0).op, Op::kLi);
+  EXPECT_EQ(p.at(0).imm, 10);
+  EXPECT_EQ(p.at(3).op, Op::kBnez);
+  EXPECT_EQ(p.at(3).imm, top);
+}
+
+TEST(Builder, ForwardBranchPatching) {
+  ProgramBuilder b("t");
+  const std::size_t br = b.emitForwardBranch(Op::kBeqz, 3);
+  b.nop();
+  b.nop();
+  b.patchHere(br);
+  Program p = std::move(b).build();
+  EXPECT_EQ(p.at(br).imm, 3);
+}
+
+TEST(Builder, MemTouchEncodesSizeStrideWrite) {
+  ProgramBuilder b("t");
+  b.memTouch(4, 16, 4096, 128, true);
+  Program p = std::move(b).build();
+  const Instr& in = p.at(0);
+  EXPECT_EQ(in.op, Op::kMemTouch);
+  EXPECT_EQ(in.ra, 4);
+  EXPECT_EQ(in.imm, 16);
+  EXPECT_EQ(in.a, 4096u);
+  EXPECT_EQ(in.b, 128u);
+  EXPECT_EQ(in.flags & kMemTouchWrite, kMemTouchWrite);
+}
+
+TEST(Builder, CasEncodesDesiredRegisterInFlags) {
+  ProgramBuilder b("t");
+  b.cas(1, 2, 3, 4);
+  Program p = std::move(b).build();
+  EXPECT_EQ(p.at(0).op, Op::kCas);
+  EXPECT_EQ(p.at(0).rd, 1);
+  EXPECT_EQ(p.at(0).ra, 2);
+  EXPECT_EQ(p.at(0).rb, 3);
+  EXPECT_EQ(p.at(0).flags, 4);
+}
+
+TEST(Program, ValidChecksBounds) {
+  ProgramBuilder b("t");
+  b.nop();
+  Program p = std::move(b).build();
+  EXPECT_TRUE(p.valid(0));
+  EXPECT_FALSE(p.valid(1));
+}
+
+TEST(Program, DisassemblyMentionsEveryOp) {
+  ProgramBuilder b("t");
+  b.li(1, 7).compute(50).syscall(4).rtcall(10).halt();
+  Program p = std::move(b).build();
+  const std::string d = p.disassemble();
+  EXPECT_NE(d.find("li"), std::string::npos);
+  EXPECT_NE(d.find("compute"), std::string::npos);
+  EXPECT_NE(d.find("syscall"), std::string::npos);
+  EXPECT_NE(d.find("rtcall"), std::string::npos);
+  EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+TEST(Program, OpNamesAreUnique) {
+  // Property: no two ops share a mnemonic (catches copy-paste in the
+  // disassembler when ops are added).
+  std::vector<std::string> names;
+  for (int i = 0; i <= static_cast<int>(Op::kNop); ++i) {
+    names.push_back(opName(static_cast<Op>(i)));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace bg::vm
