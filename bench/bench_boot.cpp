@@ -7,6 +7,7 @@
 // VHDL rate (10 cycles/second).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "cnk/cnk_kernel.hpp"
 #include "fwk/fwk_kernel.hpp"
 #include "hw/machine.hpp"
@@ -43,25 +44,51 @@ void printRow(const BootRow& r) {
               hours, days);
 }
 
+bg::sim::Json rowToJson(const BootRow& r) {
+  const double hours = static_cast<double>(r.cycles) / kVhdlHz / 3600.0;
+  bg::sim::Json j = bg::sim::Json::object();
+  j.set("kernel", r.name);
+  j.set("boot_cycles", static_cast<std::uint64_t>(r.cycles));
+  j.set("boot_phases", static_cast<std::uint64_t>(r.phases));
+  j.set("vhdl_hours", hours);
+  j.set("vhdl_days", hours / 24.0);
+  return j;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Boot cost under a 10 Hz VHDL cycle-accurate simulator "
               "(paper SectionIII)\n");
   std::printf("%-22s %19s  %14s  %12s  %10s\n", "kernel", "boot work",
               "boot phases", "@10Hz", "");
-  printRow(bootOne("CNK", [](hw::Node& n) {
+  const BootRow cnk = bootOne("CNK", [](hw::Node& n) {
     return std::make_unique<cnk::CnkKernel>(n);
-  }));
-  printRow(bootOne("Linux (full)", [](hw::Node& n) {
+  });
+  printRow(cnk);
+  const BootRow full = bootOne("Linux (full)", [](hw::Node& n) {
     return std::make_unique<fwk::FwkKernel>(n);
-  }));
-  printRow(bootOne("Linux (stripped)", [](hw::Node& n) {
+  });
+  printRow(full);
+  const BootRow stripped = bootOne("Linux (stripped)", [](hw::Node& n) {
     fwk::FwkKernel::Config cfg;
     cfg.strippedBoot = true;
     return std::make_unique<fwk::FwkKernel>(n, cfg);
-  }));
+  });
+  printRow(stripped);
   std::printf("\npaper: CNK boots in a couple of hours at 10Hz; Linux "
               "takes weeks; stripped Linux days.\n");
+
+  if (const char* jsonPath = bg::bench::jsonPathArg(argc, argv)) {
+    bg::sim::Json j = bg::sim::Json::object();
+    j.set("bench", "boot");
+    j.set("vhdl_hz", kVhdlHz);
+    bg::sim::Json rows = bg::sim::Json::array();
+    rows.push(rowToJson(cnk));
+    rows.push(rowToJson(full));
+    rows.push(rowToJson(stripped));
+    j.set("kernels", rows);
+    if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
+  }
   return 0;
 }

@@ -67,6 +67,14 @@ void printTable(const char* title, const FwqResult& r) {
   }
 }
 
+sim::Json resultToJson(const FwqResult& r) {
+  sim::Json cores = sim::Json::array();
+  for (const auto& samples : r.perCore) {
+    cores.push(bg::bench::statsToJson(bg::bench::computeStats(samples)));
+  }
+  return cores;
+}
+
 void dumpCsv(const char* kernelName, const FwqResult& r) {
   for (std::size_t i = 0; i < r.perCore.size(); ++i) {
     std::ofstream out("fwq_" + std::string(kernelName) + "_core" +
@@ -84,6 +92,7 @@ int main(int argc, char** argv) {
   int samples = 12000;
   bool dump = false;
   bool ablate = false;
+  const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dump") == 0) dump = true;
     if (std::strcmp(argv[i], "--ablate") == 0) ablate = true;
@@ -117,5 +126,14 @@ int main(int argc, char** argv) {
 
   std::printf("\npaper: Linux spreads >5%% on cores 0/2/3, ~1.5%% on core 1;"
               " CNK <0.006%%\n");
+
+  if (jsonPath != nullptr) {
+    sim::Json j = sim::Json::object();
+    j.set("bench", "fwq");
+    j.set("samples", static_cast<std::int64_t>(samples));
+    j.set("linux_per_core", resultToJson(linux));
+    j.set("cnk_per_core", resultToJson(cnk));
+    if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
+  }
   return 0;
 }

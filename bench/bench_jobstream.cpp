@@ -1,0 +1,187 @@
+// Multi-tenant job-stream benchmark for the service-node control
+// subsystem (src/svc): a seeded stream of 100+ mixed CNK/FWK jobs
+// arrives at an 8-node heterogeneous machine, one node dies mid-run
+// (injected fatal RAS event), and the scheduler drains the backlog
+// through drain/retry/reboot. Reports jobs/sec, queue wait, node
+// utilization, and RAS counts; --json writes them machine-readably.
+//
+// The whole stream — arrivals, placements, the failure, the retry —
+// runs on the deterministic event engine, so two runs with the same
+// seed produce an identical schedule hash (verified every run).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runtime/app.hpp"
+#include "svc/service_node.hpp"
+#include "vm/builder.hpp"
+
+namespace {
+
+using namespace bg;
+
+struct StreamParams {
+  int jobs = 120;
+  int nodes = 8;
+  int fwkNodes = 2;  // trailing nodes run the FWK personality
+  std::uint64_t seed = 42;
+  svc::SchedPolicyKind policy = svc::SchedPolicyKind::kBackfill;
+  int failNode = 2;
+  sim::Cycle failCycle = 4'000'000;
+};
+
+std::shared_ptr<kernel::ElfImage> workImage(int id, std::uint64_t reps,
+                                            std::uint64_t cyclesPerRep) {
+  vm::ProgramBuilder b("job" + std::to_string(id));
+  const auto top = b.loopBegin(16, static_cast<std::int64_t>(reps));
+  b.compute(cyclesPerRep);
+  b.loopEnd(16, top);
+  b.halt(0);
+  return kernel::ElfImage::makeExecutable("job" + std::to_string(id),
+                                          std::move(b).build());
+}
+
+struct StreamResult {
+  svc::SvcMetrics metrics;
+  bool drained = false;
+  std::uint64_t retries = 0;
+};
+
+StreamResult runStream(const StreamParams& p) {
+  rt::ClusterConfig cfg;
+  cfg.computeNodes = p.nodes;
+  cfg.seed = p.seed;
+  cfg.nodeKernels.assign(static_cast<std::size_t>(p.nodes),
+                         rt::KernelKind::kCnk);
+  for (int n = p.nodes - p.fwkNodes; n < p.nodes; ++n) {
+    cfg.nodeKernels[static_cast<std::size_t>(n)] = rt::KernelKind::kFwk;
+  }
+  rt::Cluster cluster(cfg);
+
+  svc::ServiceNodeConfig scfg;
+  scfg.policy = p.policy;
+  svc::ServiceNode sn(cluster, scfg);
+
+  // Seeded job mix: width 1-3, ~1/4 FWK, work 100K-600K cycles.
+  sim::Rng rng(p.seed, "jobstream");
+  int submitted = 0;
+  sim::Cycle arrival = 0;
+  for (int i = 0; i < p.jobs; ++i) {
+    const bool fwk = rng.nextBelow(4) == 0;
+    const int width = fwk ? 1 : 1 + static_cast<int>(rng.nextBelow(3));
+    const std::uint64_t reps = 8 + rng.nextBelow(25);
+    const std::uint64_t perRep = 12'000;
+    svc::JobDesc jd;
+    jd.name = "job" + std::to_string(i);
+    jd.kernel = fwk ? rt::KernelKind::kFwk : rt::KernelKind::kCnk;
+    jd.nodes = width;
+    jd.exe = workImage(i, reps, perRep);
+    jd.estCycles = reps * perRep + 120'000;  // user estimate incl. slack
+    arrival += rng.nextBelow(60'000);
+    cluster.engine().scheduleAt(arrival, [&sn, jd, &submitted] {
+      sn.submit(jd);
+      ++submitted;
+    });
+  }
+
+  sn.injectNodeFailure(p.failNode, p.failCycle);
+  sn.start();
+
+  StreamResult r;
+  r.drained = cluster.engine().runWhile(
+      [&] { return submitted == p.jobs && sn.drained(); }, 2'000'000'000ULL);
+  r.metrics = sn.metrics();
+  r.retries = r.metrics.jobRetries;
+  return r;
+}
+
+void printMetrics(const char* title, const svc::SvcMetrics& m) {
+  std::printf("\n%s\n", title);
+  bg::bench::printRule();
+  std::printf("jobs: %llu submitted, %llu completed, %llu failed, "
+              "%llu retries after node loss\n",
+              static_cast<unsigned long long>(m.jobsSubmitted),
+              static_cast<unsigned long long>(m.jobsCompleted),
+              static_cast<unsigned long long>(m.jobsFailed),
+              static_cast<unsigned long long>(m.jobRetries));
+  std::printf("throughput: %.1f jobs/sec over %.3f simulated sec\n",
+              m.jobsPerSecond, m.elapsedSeconds);
+  std::printf("queue wait: mean %.0f cycles, max %llu cycles\n",
+              m.meanQueueWaitCycles,
+              static_cast<unsigned long long>(m.maxQueueWaitCycles));
+  std::printf("utilization: %.1f%% across %d nodes (%llu node failures)\n",
+              100.0 * m.utilization, m.nodes,
+              static_cast<unsigned long long>(m.nodeFailures));
+  std::printf("RAS: %llu info / %llu warn / %llu error / %llu fatal; "
+              "%llu throttled, %llu dropped\n",
+              static_cast<unsigned long long>(m.rasInfo),
+              static_cast<unsigned long long>(m.rasWarn),
+              static_cast<unsigned long long>(m.rasError),
+              static_cast<unsigned long long>(m.rasFatal),
+              static_cast<unsigned long long>(m.rasThrottled),
+              static_cast<unsigned long long>(m.rasDropped));
+  std::printf("schedule hash: %016llx\n",
+              static_cast<unsigned long long>(m.scheduleHash));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StreamParams p;
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      p.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      p.nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      p.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fifo") == 0) {
+      p.policy = svc::SchedPolicyKind::kFifo;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    }
+  }
+
+  std::printf("job-stream benchmark: %d jobs, %d nodes (%d FWK), "
+              "policy=%s, node %d dies at cycle %llu, seed=%llu\n",
+              p.jobs, p.nodes, p.fwkNodes,
+              p.policy == svc::SchedPolicyKind::kFifo ? "fifo" : "backfill",
+              p.failNode, static_cast<unsigned long long>(p.failCycle),
+              static_cast<unsigned long long>(p.seed));
+
+  const StreamResult run1 = runStream(p);
+  if (!run1.drained) {
+    std::fprintf(stderr, "stream did not drain\n");
+    return 1;
+  }
+  printMetrics("run 1", run1.metrics);
+
+  // Determinism witness: replay the identical stream.
+  const StreamResult run2 = runStream(p);
+  const bool match =
+      run2.metrics.scheduleHash == run1.metrics.scheduleHash;
+  std::printf("\nreplay schedule hash: %016llx (%s)\n",
+              static_cast<unsigned long long>(run2.metrics.scheduleHash),
+              match ? "MATCH" : "MISMATCH");
+
+  if (!jsonPath.empty()) {
+    sim::Json j = sim::Json::object();
+    j.set("bench", "jobstream");
+    j.set("jobs", static_cast<std::int64_t>(p.jobs));
+    j.set("nodes", static_cast<std::int64_t>(p.nodes));
+    j.set("seed", p.seed);
+    j.set("policy",
+          p.policy == svc::SchedPolicyKind::kFifo ? "fifo" : "backfill");
+    j.set("metrics", run1.metrics.toJson());
+    j.set("replay_hash_match", match);
+    if (!j.writeFile(jsonPath)) {
+      std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", jsonPath.c_str());
+  }
+  return match ? 0 : 1;
+}

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
+#include "sim/json.hpp"
 #include "sim/types.hpp"
 
 namespace bg::bench {
@@ -43,6 +45,37 @@ inline double pct(std::uint64_t delta, std::uint64_t base) {
 
 inline void printRule() {
   std::printf("--------------------------------------------------------------------------\n");
+}
+
+inline sim::Json statsToJson(const Stats& s) {
+  sim::Json j = sim::Json::object();
+  j.set("n", s.n);
+  j.set("min", s.min);
+  j.set("max", s.max);
+  j.set("mean", s.mean);
+  j.set("stddev", s.stddev);
+  if (s.min > 0) j.set("spread_pct", pct(s.max - s.min, s.min));
+  return j;
+}
+
+/// Returns the path following a `--json` flag, or nullptr.
+inline const char* jsonPathArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+/// Writes `j` to `path` (when non-null) and reports on stdout/stderr.
+/// Returns false only on a write failure.
+inline bool maybeWriteJson(const char* path, const sim::Json& j) {
+  if (path == nullptr) return true;
+  if (!j.writeFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return false;
+  }
+  std::printf("wrote %s\n", path);
+  return true;
 }
 
 }  // namespace bg::bench

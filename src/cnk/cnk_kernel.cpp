@@ -168,6 +168,9 @@ bool CnkKernel::loadJob(const JobSpec& spec) {
   for (auto& [pid, cores] : procCores_) {
     for (int c : cores) node_.core(c).kick();
   }
+  logRas(kernel::RasEvent::Code::kJobLoaded,
+         processes_.empty() ? 0 : processes_.back()->pid(), 0,
+         static_cast<std::uint64_t>(spec.processes));
   return true;
 }
 
@@ -255,8 +258,11 @@ hw::HandlerResult CnkKernel::syscall(hw::Core& core, hw::ThreadCtx& ctx,
       // Precise machine-check delivery: log the RAS event and signal
       // the calling thread immediately (the application's recovery
       // handler runs before anything else executes — §V-B).
-      logRas(kernel::RasEvent::Code::kMachineCheck, t.proc.pid(),
-             t.ctx.tid, t.ctx.pc);
+      // Recoverable by construction (the handler scrubs and resumes),
+      // so the control system sees a warning, not a node loss.
+      logRas(kernel::RasEvent::Code::kMachineCheck,
+             kernel::RasEvent::Severity::kWarn, t.proc.pid(), t.ctx.tid,
+             t.ctx.pc);
       const sim::Cycle c = deliverSignal(t, kernel::kSigBus, t.ctx.pc);
       return HandlerResult::done(0, base + 200 + c);
     }
@@ -688,8 +694,9 @@ hw::HandlerResult CnkKernel::onInterrupt(hw::Core& core, hw::Irq irq) {
       hw::ThreadCtx* cur = core.current();
       if (cur != nullptr && !cur->done()) {
         Thread& t = threadOf(*cur);
-        logRas(kernel::RasEvent::Code::kMachineCheck, t.proc.pid(),
-               t.ctx.tid, cur->pc);
+        logRas(kernel::RasEvent::Code::kMachineCheck,
+               kernel::RasEvent::Severity::kWarn, t.proc.pid(), t.ctx.tid,
+               cur->pc);
         const sim::Cycle c =
             deliverSignal(t, kernel::kSigBus, cur->pc);
         return hw::HandlerResult::done(0, 200 + c);

@@ -215,6 +215,9 @@ bool FwkKernel::loadJob(const JobSpec& spec) {
     node_.core(core).kick();
     processes_.push_back(std::move(proc));
   }
+  logRas(kernel::RasEvent::Code::kJobLoaded,
+         processes_.empty() ? 0 : processes_.back()->pid(), 0,
+         static_cast<std::uint64_t>(spec.processes));
   return true;
 }
 

@@ -49,6 +49,12 @@ Machine::Machine(const MachineConfig& cfg)
   }
 }
 
+void Machine::resetNode(int i) {
+  Node& n = node(i);
+  n.prepareForReset();
+  n.restartFromSelfRefresh();
+}
+
 std::uint64_t Machine::scanHash() const {
   sim::Fnv1a h;
   for (const auto& n : compute_) h.mix(n->scanHash());

@@ -59,6 +59,12 @@ class Machine {
 
   std::uint64_t seed() const { return cfg_.seed; }
 
+  /// Service-node control hook: pull one compute node through a
+  /// hardware reset (flush caches to DDR, DDR self-refresh, restart,
+  /// TLBs invalidated). The kernel must be quiesced first — the
+  /// control system kills/unloads the node's job before resetting.
+  void resetNode(int i);
+
   /// Logic-scan digest over the whole machine at the current cycle.
   std::uint64_t scanHash() const;
 

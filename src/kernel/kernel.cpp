@@ -120,7 +120,22 @@ sim::Cycle KernelBase::deliverSignal(Thread& t, int signo,
 
 void KernelBase::logRas(RasEvent::Code code, std::uint32_t pid,
                         std::uint32_t tid, std::uint64_t detail) {
-  rasLog_.push_back(RasEvent{engine().now(), code, pid, tid, detail});
+  logRas(code, defaultRasSeverity(code), pid, tid, detail);
+}
+
+void KernelBase::logRas(RasEvent::Code code, RasEvent::Severity severity,
+                        std::uint32_t pid, std::uint32_t tid,
+                        std::uint64_t detail) {
+  rasLog_.push_back(
+      RasEvent{engine().now(), code, severity, pid, tid, detail, rasNextSeq_++});
+  trimRasLog();
+}
+
+void KernelBase::trimRasLog() {
+  while (rasLog_.size() > rasLogCap_) {
+    rasLog_.pop_front();
+    ++rasDropped_;
+  }
 }
 
 void KernelBase::killThread(Thread& t) {
@@ -173,6 +188,8 @@ void KernelBase::onThreadHalt(hw::Core& core, hw::ThreadCtx& ctx) {
   if (t.proc.liveThreads() == 0) {
     t.proc.exited = true;
     t.proc.exitStatus = t.ctx.exitStatus;
+    logRas(RasEvent::Code::kJobExited, t.proc.pid(), t.ctx.tid,
+           static_cast<std::uint64_t>(t.proc.exitStatus));
   }
 }
 

@@ -3,6 +3,7 @@
 // copies, and the syscalls whose semantics are kernel-agnostic.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -35,13 +36,35 @@ struct RasEvent {
     kThreadKilled,   // fatal signal took a thread down
     kJobLoaded,
     kJobExited,
+    kNodeFailure,    // the whole node is lost (injected or diagnosed)
   };
+  /// How the control system should react (src/svc aggregates on this):
+  /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
+  /// kError ends a process, kFatal takes the node out of service.
+  enum class Severity : std::uint8_t { kInfo, kWarn, kError, kFatal };
   sim::Cycle cycle = 0;
   Code code = Code::kMachineCheck;
+  Severity severity = Severity::kError;
   std::uint32_t pid = 0;
   std::uint32_t tid = 0;
   std::uint64_t detail = 0;  // faulting address / exit status / ...
+  /// Monotonic per-kernel sequence number; lets a poller resume after
+  /// the bounded log has dropped old entries under it.
+  std::uint64_t seq = 0;
 };
+
+/// The reaction a code implies when the reporter does not say.
+constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
+  switch (c) {
+    case RasEvent::Code::kJobLoaded:
+    case RasEvent::Code::kJobExited:
+      return RasEvent::Severity::kInfo;
+    case RasEvent::Code::kNodeFailure:
+      return RasEvent::Severity::kFatal;
+    default:
+      return RasEvent::Severity::kError;
+  }
+}
 
 class KernelBase : public hw::KernelIf {
  public:
@@ -124,10 +147,19 @@ class KernelBase : public hw::KernelIf {
   std::uint64_t signalsDelivered() const { return signalsDelivered_; }
   std::uint64_t threadsKilled() const { return threadsKilled_; }
 
-  /// RAS event stream (what a service node would collect).
-  const std::vector<RasEvent>& rasLog() const { return rasLog_; }
+  /// RAS event stream (what a service node collects; see src/svc).
+  /// Bounded: oldest entries are dropped once the capacity is reached,
+  /// so long fault-injection runs can't grow it without limit. Entries
+  /// stay in chronological order; `seq` survives drops.
+  const std::deque<RasEvent>& rasLog() const { return rasLog_; }
+  std::uint64_t rasDropped() const { return rasDropped_; }
+  std::uint64_t rasNextSeq() const { return rasNextSeq_; }
+  void setRasLogCapacity(std::size_t cap) { rasLogCap_ = cap; trimRasLog(); }
+  std::size_t rasLogCapacity() const { return rasLogCap_; }
   void logRas(RasEvent::Code code, std::uint32_t pid, std::uint32_t tid,
               std::uint64_t detail);
+  void logRas(RasEvent::Code code, RasEvent::Severity severity,
+              std::uint32_t pid, std::uint32_t tid, std::uint64_t detail);
 
  protected:
   /// Handle the kernel-agnostic syscall subset (gettid/getpid/uname/
@@ -156,7 +188,13 @@ class KernelBase : public hw::KernelIf {
   std::uint64_t syscallCount_ = 0;
   std::uint64_t signalsDelivered_ = 0;
   std::uint64_t threadsKilled_ = 0;
-  std::vector<RasEvent> rasLog_;
+  std::deque<RasEvent> rasLog_;
+  std::size_t rasLogCap_ = 1024;
+  std::uint64_t rasDropped_ = 0;
+  std::uint64_t rasNextSeq_ = 0;
+
+ private:
+  void trimRasLog();
 };
 
 }  // namespace bg::kernel

@@ -36,7 +36,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   for (int n = 0; n < machine_->numComputeNodes(); ++n) {
     hw::Node& node = machine_->node(n);
     std::unique_ptr<kernel::KernelBase> kern;
-    if (cfg_.kernel == KernelKind::kCnk) {
+    if (kernelKindOn(n) == KernelKind::kCnk) {
       cnk::CnkKernel::Config kc = cfg_.cnk;
       kc.ioNodeNetId = machine_->ioNodeNetIdFor(n);
       kern = std::make_unique<cnk::CnkKernel>(node, kc);
@@ -123,6 +123,21 @@ bool Cluster::loadJob(const kernel::JobSpec& job) {
   }
   mpi_->setWorldSize(total);
   return true;
+}
+
+bool Cluster::loadJobOnNode(int n, const kernel::JobSpec& job) {
+  if (n < 0 || n >= machine_->numComputeNodes()) return false;
+  if (!job.libs.empty()) {
+    auto& root = ioRoot_[static_cast<std::size_t>(
+        machine_->ioNodeIndexFor(n))];
+    for (const auto& lib : job.libs) {
+      root->putFile("/lib/" + lib->name(), lib->textContents());
+    }
+    std::vector<std::string> libNames;
+    for (const auto& lib : job.libs) libNames.push_back(lib->name());
+    dispatchers_[static_cast<std::size_t>(n)]->loader().setLibNames(libNames);
+  }
+  return kernels_[static_cast<std::size_t>(n)]->loadJob(job);
 }
 
 bool Cluster::jobDone() const {

@@ -34,6 +34,12 @@ struct ClusterConfig {
   int ioNodes = 1;
   int computeNodesPerIoNode = 64;  // pset size
   KernelKind kernel = KernelKind::kCnk;
+  /// Per-node kernel override for heterogeneous machines (MultiK-style
+  /// specialized kernels side by side). Node n runs nodeKernels[n];
+  /// nodes past the vector's end fall back to `kernel`. The service
+  /// node (src/svc) matches jobs to partitions of the kernel they ask
+  /// for.
+  std::vector<KernelKind> nodeKernels;
   cnk::CnkKernel::Config cnk;
   fwk::FwkKernel::Config fwk;
   hw::NodeConfig node;
@@ -58,6 +64,11 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
 
   kernel::KernelBase& kernelOn(int n) { return *kernels_[n]; }
+  KernelKind kernelKindOn(int n) const {
+    return n < static_cast<int>(cfg_.nodeKernels.size())
+               ? cfg_.nodeKernels[static_cast<std::size_t>(n)]
+               : cfg_.kernel;
+  }
   cnk::CnkKernel* cnkOn(int n) {
     return dynamic_cast<cnk::CnkKernel*>(kernels_[n].get());
   }
@@ -82,6 +93,13 @@ class Cluster {
   /// node-major), register ranks with the messaging world, stage
   /// dynamic libraries onto the I/O nodes' filesystems.
   bool loadJob(const kernel::JobSpec& job);
+
+  /// Launch a job on a single node without touching the messaging
+  /// world — the service-node scheduler (src/svc) places independent
+  /// jobs on partitions this way. `job.firstRank` should already be
+  /// set by the caller. Dynamic libraries are staged on the node's
+  /// I/O node as in loadJob().
+  bool loadJobOnNode(int n, const kernel::JobSpec& job);
 
   /// Run the machine until every node's job completes. Returns false
   /// on event-budget exhaustion or deadlock (empty queue).

@@ -1,0 +1,136 @@
+#include "sim/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace bg::sim {
+
+Json& Json::set(const std::string& key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return members_.back().second;
+}
+
+Json& Json::push(Json value) {
+  elements_.push_back(std::move(value));
+  return elements_.back();
+}
+
+void Json::appendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* sp = indent > 0 ? " " : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += num_ != 0.0 ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out += buf;
+      break;
+    }
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) {
+        out += "null";
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.10g", num_);
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      appendEscaped(out, str_);
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{";
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ",";
+        first = false;
+        out += nl;
+        out += indent > 0 ? pad : "";
+        appendEscaped(out, k);
+        out += ":";
+        out += sp;
+        v.dumpTo(out, indent, depth + 1);
+      }
+      out += nl;
+      out += indent > 0 ? close : "";
+      out += "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[";
+      bool first = true;
+      for (const Json& v : elements_) {
+        if (!first) out += ",";
+        first = false;
+        out += nl;
+        out += indent > 0 ? pad : "";
+        v.dumpTo(out, indent, depth + 1);
+      }
+      out += nl;
+      out += indent > 0 ? close : "";
+      out += "]";
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+bool Json::writeFile(const std::string& path, int indent) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << dump(indent) << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace bg::sim

@@ -1,0 +1,75 @@
+// Metrics surface of the service node: scalar structs for tests and a
+// JSON projection for the bench trajectory (bench_jobstream --json).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+#include "sim/json.hpp"
+#include "sim/types.hpp"
+
+namespace bg::svc {
+
+struct SvcMetrics {
+  // Job flow.
+  std::uint64_t jobsSubmitted = 0;
+  std::uint64_t jobsCompleted = 0;
+  std::uint64_t jobsFailed = 0;
+  std::uint64_t jobRetries = 0;  // relaunches after node loss
+
+  // Time base.
+  sim::Cycle elapsedCycles = 0;
+  double elapsedSeconds = 0;  // at the simulated clock rate
+  double jobsPerSecond = 0;   // completed / elapsedSeconds
+
+  // Queue wait: submit -> first launch, over started jobs.
+  double meanQueueWaitCycles = 0;
+  std::uint64_t maxQueueWaitCycles = 0;
+
+  // Node usage.
+  int nodes = 0;
+  double utilization = 0;  // busy node-cycles / (nodes * elapsed)
+  std::uint64_t nodeFailures = 0;
+
+  // RAS flow.
+  std::uint64_t rasInfo = 0;
+  std::uint64_t rasWarn = 0;
+  std::uint64_t rasError = 0;
+  std::uint64_t rasFatal = 0;
+  std::uint64_t rasThrottled = 0;
+  std::uint64_t rasDropped = 0;
+
+  // Determinism witness: FNV digest of every scheduling decision.
+  std::uint64_t scheduleHash = 0;
+
+  sim::Json toJson() const {
+    sim::Json j = sim::Json::object();
+    j.set("jobs_submitted", jobsSubmitted);
+    j.set("jobs_completed", jobsCompleted);
+    j.set("jobs_failed", jobsFailed);
+    j.set("job_retries", jobRetries);
+    j.set("elapsed_cycles", elapsedCycles);
+    j.set("elapsed_seconds", elapsedSeconds);
+    j.set("jobs_per_second", jobsPerSecond);
+    j.set("mean_queue_wait_cycles", meanQueueWaitCycles);
+    j.set("max_queue_wait_cycles", maxQueueWaitCycles);
+    j.set("nodes", static_cast<std::int64_t>(nodes));
+    j.set("utilization", utilization);
+    j.set("node_failures", nodeFailures);
+    sim::Json ras = sim::Json::object();
+    ras.set("info", rasInfo);
+    ras.set("warn", rasWarn);
+    ras.set("error", rasError);
+    ras.set("fatal", rasFatal);
+    ras.set("throttled", rasThrottled);
+    ras.set("dropped", rasDropped);
+    j.set("ras", std::move(ras));
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(scheduleHash));
+    j.set("schedule_hash", hash);
+    return j;
+  }
+};
+
+}  // namespace bg::svc

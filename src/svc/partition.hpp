@@ -1,0 +1,93 @@
+// Partition manager: the service node's view of the machine's compute
+// nodes — which kernel each one runs, where each sits in the lifecycle
+// (reset → booting → ready → running → draining → down), and how node
+// blocks are carved out for jobs. Blue Gene partitions are contiguous
+// blocks wired off from their neighbors; we prefer contiguity and fall
+// back to scattered allocation on a fragmented or heterogeneous
+// machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "sim/types.hpp"
+#include "svc/job.hpp"
+
+namespace bg::svc {
+
+enum class NodeLifecycle : std::uint8_t {
+  kReset,     // powered but not handed a kernel yet
+  kBooting,   // kernel boot sequence in flight
+  kReady,     // booted, no job
+  kRunning,   // owned by a job
+  kDraining,  // job being torn down after a fault elsewhere in its block
+  kDown,      // lost to a fatal RAS event; awaiting repair + reboot
+};
+
+constexpr const char* lifecycleName(NodeLifecycle s) {
+  switch (s) {
+    case NodeLifecycle::kReset: return "reset";
+    case NodeLifecycle::kBooting: return "booting";
+    case NodeLifecycle::kReady: return "ready";
+    case NodeLifecycle::kRunning: return "running";
+    case NodeLifecycle::kDraining: return "draining";
+    case NodeLifecycle::kDown: return "down";
+  }
+  return "?";
+}
+
+class PartitionManager {
+ public:
+  /// One entry per compute node: the kernel personality it boots.
+  explicit PartitionManager(std::vector<rt::KernelKind> kinds);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  NodeLifecycle state(int n) const { return nodes_[idx(n)].state; }
+  rt::KernelKind kernelOf(int n) const { return nodes_[idx(n)].kernel; }
+  JobId jobOn(int n) const { return nodes_[idx(n)].job; }
+  std::uint64_t failuresOf(int n) const { return nodes_[idx(n)].failures; }
+
+  // Lifecycle transitions. `now` feeds per-node busy accounting.
+  void markBooting(int n);
+  void markReady(int n);
+  void markRunning(int n, JobId job, sim::Cycle now);
+  void release(int n, sim::Cycle now);     // running/draining -> ready
+  void beginDrain(int n, sim::Cycle now);  // running -> draining
+  void markDown(int n, sim::Cycle now);    // any -> down (+failure count)
+  void markReset(int n);                   // down -> reset (repair done)
+
+  int countIn(NodeLifecycle s) const;
+  int readyCount(rt::KernelKind k) const;
+
+  /// Allocate `count` ready nodes running kernel `k`: smallest
+  /// contiguous run of eligible nodes that fits, else scattered
+  /// lowest-id fallback. Empty result = not satisfiable right now.
+  /// Nodes stay kReady until markRunning().
+  std::vector<int> allocate(int count, rt::KernelKind k) const;
+
+  /// Cycles node n has spent in kRunning (closed intervals only; call
+  /// settle() to fold in an open interval before reading).
+  std::uint64_t busyCycles(int n) const { return nodes_[idx(n)].busyCycles; }
+  std::uint64_t totalBusyCycles() const;
+  /// Close out running intervals at `now` (without changing state) so
+  /// utilization can be read mid-run.
+  void settle(sim::Cycle now);
+
+ private:
+  struct NodeInfo {
+    rt::KernelKind kernel = rt::KernelKind::kCnk;
+    NodeLifecycle state = NodeLifecycle::kReset;
+    JobId job = 0;  // 0 = none
+    sim::Cycle busySince = 0;
+    std::uint64_t busyCycles = 0;
+    std::uint64_t failures = 0;
+  };
+
+  static std::size_t idx(int n) { return static_cast<std::size_t>(n); }
+  void closeBusy(int n, sim::Cycle now);
+
+  std::vector<NodeInfo> nodes_;
+};
+
+}  // namespace bg::svc

@@ -1,0 +1,75 @@
+#include "svc/ras.hpp"
+
+namespace bg::svc {
+
+RasAggregator::RasAggregator(RasAggregatorConfig cfg) : cfg_(cfg) {}
+
+void RasAggregator::attach(int node, kernel::KernelBase* k) {
+  sources_.push_back(Source{node, k, k->rasNextSeq()});
+}
+
+void RasAggregator::injectNodeFailure(int node, std::uint64_t detail) {
+  for (Source& s : sources_) {
+    if (s.node == node) {
+      s.kernel->logRas(kernel::RasEvent::Code::kNodeFailure,
+                       kernel::RasEvent::Severity::kFatal, 0, 0, detail);
+      return;
+    }
+  }
+}
+
+bool RasAggregator::admit(const kernel::RasEvent& e) {
+  if (e.severity == kernel::RasEvent::Severity::kFatal) return true;
+  CodeWindow& w = windows_[static_cast<std::size_t>(e.code)];
+  if (e.cycle >= w.windowStart + cfg_.throttleWindowCycles) {
+    w.windowStart = e.cycle;
+    w.inWindow = 0;
+  }
+  if (w.inWindow >= cfg_.maxPerCodePerWindow) {
+    ++throttled_;
+    return false;
+  }
+  ++w.inWindow;
+  return true;
+}
+
+std::size_t RasAggregator::poll(sim::Cycle now) {
+  (void)now;
+  std::size_t stored = 0;
+  for (Source& src : sources_) {
+    const auto& log = src.kernel->rasLog();
+    for (const kernel::RasEvent& e : log) {
+      if (e.seq < src.nextSeq) continue;
+      src.nextSeq = e.seq + 1;
+      // Severity/code tallies count every event the service node saw,
+      // throttled or not — the stream is what's bounded, not the
+      // statistics.
+      ++bySeverity_[static_cast<std::size_t>(e.severity)];
+      ++byCode_[static_cast<std::size_t>(e.code)];
+      if (admit(e)) {
+        stream_.push_back(SvcRasEvent{src.node, e});
+        ++accepted_;
+        ++stored;
+        while (stream_.size() > cfg_.streamCapacity) {
+          stream_.pop_front();
+          ++streamDropped_;
+        }
+      }
+      if (e.severity == kernel::RasEvent::Severity::kFatal && onFatal_) {
+        onFatal_(src.node, e);
+      }
+    }
+    // Events the kernel ring dropped between polls never appear in the
+    // loop above; the seq-based cursor steps over the gap and
+    // dropped() reports the loss.
+  }
+  return stored;
+}
+
+std::uint64_t RasAggregator::dropped() const {
+  std::uint64_t sum = streamDropped_;
+  for (const Source& s : sources_) sum += s.kernel->rasDropped();
+  return sum;
+}
+
+}  // namespace bg::svc

@@ -1,0 +1,98 @@
+// Service-node RAS aggregation (paper §III, §V-B): every kernel keeps
+// a small local RAS ring; the service node periodically drains them
+// all into one machine-wide stream, throttles event storms per code,
+// and reacts to fatal events (node loss). Fault-injection goes through
+// the same path, so tests can kill nodes deterministically and watch
+// the identical plumbing a real machine check would take.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "sim/types.hpp"
+
+namespace bg::svc {
+
+/// One entry of the machine-wide stream: the kernel-local event plus
+/// which compute node reported it.
+struct SvcRasEvent {
+  int node = 0;
+  kernel::RasEvent event;
+};
+
+struct RasAggregatorConfig {
+  /// Per-code token window: at most maxPerCodePerWindow events of one
+  /// code enter the stream per window; the rest are counted as
+  /// throttled. Fatal events are never throttled.
+  sim::Cycle throttleWindowCycles = 1'000'000;
+  std::uint32_t maxPerCodePerWindow = 16;
+  /// Stream bound; oldest entries drop (counted) once exceeded.
+  std::size_t streamCapacity = 4096;
+};
+
+class RasAggregator {
+ public:
+  explicit RasAggregator(RasAggregatorConfig cfg = {});
+
+  /// Register a node's kernel. Polling resumes from each kernel's
+  /// current sequence number, so pre-attach history is not replayed.
+  void attach(int node, kernel::KernelBase* k);
+
+  /// Drain new events from every attached kernel into the stream.
+  /// Returns the number of events accepted (stored) this poll.
+  std::size_t poll(sim::Cycle now);
+
+  /// Called during poll() for every fatal event seen (stored or not).
+  using FatalHandler = std::function<void(int node, const kernel::RasEvent&)>;
+  void setFatalHandler(FatalHandler f) { onFatal_ = std::move(f); }
+
+  /// Fault injection: report a fatal kNodeFailure against `node`'s
+  /// kernel; the next poll() routes it like any other fatal event.
+  void injectNodeFailure(int node, std::uint64_t detail);
+
+  const std::deque<SvcRasEvent>& stream() const { return stream_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t throttled() const { return throttled_; }
+  /// Events lost before the service node saw them (kernel ring
+  /// overflow) plus stream-bound drops on our side.
+  std::uint64_t dropped() const;
+  std::uint64_t countBySeverity(kernel::RasEvent::Severity s) const {
+    return bySeverity_[static_cast<std::size_t>(s)];
+  }
+  std::uint64_t countByCode(kernel::RasEvent::Code c) const {
+    return byCode_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  struct Source {
+    int node = 0;
+    kernel::KernelBase* kernel = nullptr;
+    std::uint64_t nextSeq = 0;  // first sequence number not yet consumed
+  };
+  struct CodeWindow {
+    sim::Cycle windowStart = 0;
+    std::uint32_t inWindow = 0;
+  };
+
+  static constexpr std::size_t kNumCodes = 6;
+  static constexpr std::size_t kNumSeverities = 4;
+
+  bool admit(const kernel::RasEvent& e);
+
+  RasAggregatorConfig cfg_;
+  std::vector<Source> sources_;
+  std::deque<SvcRasEvent> stream_;
+  std::array<CodeWindow, kNumCodes> windows_{};
+  std::array<std::uint64_t, kNumSeverities> bySeverity_{};
+  std::array<std::uint64_t, kNumCodes> byCode_{};
+  std::uint64_t accepted_ = 0;
+  std::uint64_t throttled_ = 0;
+  std::uint64_t streamDropped_ = 0;
+  FatalHandler onFatal_;
+};
+
+}  // namespace bg::svc

@@ -1,0 +1,108 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace bg::svc {
+namespace {
+
+constexpr std::size_t kKinds = 2;
+
+std::size_t kindIdx(rt::KernelKind k) {
+  return k == rt::KernelKind::kCnk ? 0 : 1;
+}
+
+std::array<int, kKinds> availByKind(const SchedContext& ctx) {
+  return {ctx.readyNodes(rt::KernelKind::kCnk),
+          ctx.readyNodes(rt::KernelKind::kFwk)};
+}
+
+}  // namespace
+
+std::vector<std::size_t> FifoPolicy::select(const SchedContext& ctx) {
+  std::vector<std::size_t> out;
+  auto avail = availByKind(ctx);
+  for (std::size_t i = 0; i < ctx.queue.size(); ++i) {
+    const JobRecord* j = ctx.queue[i];
+    int& a = avail[kindIdx(j->desc.kernel)];
+    if (j->desc.nodes > a) break;  // head of line blocks
+    a -= j->desc.nodes;
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BackfillPolicy::select(const SchedContext& ctx) {
+  std::vector<std::size_t> out;
+  auto avail = availByKind(ctx);
+
+  // FIFO prefix: launch in order while everything fits.
+  std::size_t head = 0;
+  for (; head < ctx.queue.size(); ++head) {
+    const JobRecord* j = ctx.queue[head];
+    int& a = avail[kindIdx(j->desc.kernel)];
+    if (j->desc.nodes > a) break;
+    a -= j->desc.nodes;
+    out.push_back(head);
+  }
+  if (head >= ctx.queue.size()) return out;
+
+  // Reservation for the blocked head: walk running jobs of its kind in
+  // estimated-end order until enough nodes will have come back.
+  const JobRecord* blocked = ctx.queue[head];
+  const std::size_t hk = kindIdx(blocked->desc.kernel);
+  std::vector<RunningJobInfo> sameKind;
+  for (const RunningJobInfo& r : ctx.running) {
+    if (kindIdx(r.kernel) == hk) sameKind.push_back(r);
+  }
+  std::sort(sameKind.begin(), sameKind.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              if (a.estEnd != b.estEnd) return a.estEnd < b.estEnd;
+              return a.id < b.id;  // total order for determinism
+            });
+  sim::Cycle reserveAt = std::numeric_limits<sim::Cycle>::max();
+  int freedByThen = 0;
+  for (const RunningJobInfo& r : sameKind) {
+    freedByThen += r.nodes;
+    if (avail[hk] + freedByThen >= blocked->desc.nodes) {
+      reserveAt = r.estEnd;
+      break;
+    }
+  }
+  // Free nodes now that the reservation provably does not need even at
+  // its start time; a backfill job may hold this many indefinitely.
+  int spare = avail[hk] + freedByThen - blocked->desc.nodes;
+  if (reserveAt == std::numeric_limits<sim::Cycle>::max()) {
+    // Head can't be satisfied even when everything drains (nodes down
+    // or the job is simply too wide); don't let it wedge the queue.
+    spare = avail[hk];
+  }
+  spare = std::min(spare, avail[hk]);
+  if (spare < 0) spare = 0;
+
+  // Backfill scan over the rest of the queue.
+  for (std::size_t i = head + 1; i < ctx.queue.size(); ++i) {
+    const JobRecord* j = ctx.queue[i];
+    const std::size_t k = kindIdx(j->desc.kernel);
+    int& a = avail[k];
+    if (j->desc.nodes > a) continue;
+    if (k == hk) {
+      const bool endsInTime = ctx.now + j->desc.estCycles <= reserveAt;
+      if (!endsInTime) {
+        if (j->desc.nodes > spare) continue;
+        spare -= j->desc.nodes;
+      }
+    }
+    a -= j->desc.nodes;
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::unique_ptr<SchedulerPolicy> makePolicy(SchedPolicyKind kind) {
+  if (kind == SchedPolicyKind::kFifo) return std::make_unique<FifoPolicy>();
+  return std::make_unique<BackfillPolicy>();
+}
+
+}  // namespace bg::svc

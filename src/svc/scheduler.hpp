@@ -1,0 +1,73 @@
+// Pluggable job-scheduling policies for the service node.
+//
+// Ekiben-style: the queue discipline is a strategy object, not baked
+// into the control loop. Two classics ship here: strict FIFO (head of
+// line blocks everyone — what early Blue Gene ran per partition) and
+// EASY backfill (later jobs may jump ahead if they provably do not
+// delay the blocked head's reservation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "sim/types.hpp"
+#include "svc/job.hpp"
+
+namespace bg::svc {
+
+/// A running job as the policy sees it: enough to predict when its
+/// nodes come back.
+struct RunningJobInfo {
+  JobId id = 0;
+  rt::KernelKind kernel = rt::KernelKind::kCnk;
+  int nodes = 0;
+  sim::Cycle estEnd = 0;  // startCycle + estCycles
+};
+
+/// Immutable snapshot handed to a policy each scheduling round.
+struct SchedContext {
+  sim::Cycle now = 0;
+  /// Queued jobs, FIFO order (index 0 = head).
+  std::vector<const JobRecord*> queue;
+  /// Ready (idle, booted) node count per kernel kind.
+  std::function<int(rt::KernelKind)> readyNodes;
+  std::vector<RunningJobInfo> running;
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Queue indices to launch this round, in launch order. The control
+  /// loop launches them one by one and re-checks actual node
+  /// availability at each launch.
+  virtual std::vector<std::size_t> select(const SchedContext& ctx) = 0;
+};
+
+/// Strict FIFO: launch from the head while it fits; the first job that
+/// does not fit blocks the rest of the queue.
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "fifo"; }
+  std::vector<std::size_t> select(const SchedContext& ctx) override;
+};
+
+/// EASY backfill: like FIFO, but when the head does not fit, compute
+/// the earliest cycle its reservation can be met (from running jobs'
+/// estimated ends) and let later jobs run now if they either finish by
+/// then (by their own estimate) or use only nodes the reservation does
+/// not need.
+class BackfillPolicy final : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "backfill"; }
+  std::vector<std::size_t> select(const SchedContext& ctx) override;
+};
+
+enum class SchedPolicyKind : std::uint8_t { kFifo, kBackfill };
+
+std::unique_ptr<SchedulerPolicy> makePolicy(SchedPolicyKind kind);
+
+}  // namespace bg::svc

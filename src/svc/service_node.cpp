@@ -1,0 +1,373 @@
+#include "svc/service_node.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bg::svc {
+
+ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      parts_([&] {
+        std::vector<rt::KernelKind> kinds;
+        for (int n = 0; n < cluster.machine().numComputeNodes(); ++n) {
+          kinds.push_back(cluster.kernelKindOn(n));
+        }
+        return kinds;
+      }()),
+      ras_(cfg.ras),
+      policy_(makePolicy(cfg.policy)) {
+  for (int n = 0; n < parts_.size(); ++n) {
+    ras_.attach(n, &cluster_.kernelOn(n));
+  }
+  ras_.setFatalHandler(
+      [this](int node, const kernel::RasEvent& e) { onNodeFatal(node, e); });
+}
+
+JobId ServiceNode::submit(JobDesc desc) {
+  JobRecord jr;
+  jr.id = nextId_++;
+  jr.desc = std::move(desc);
+  jr.submitCycle = engine().now();
+  if (jobs_.empty()) firstSubmit_ = jr.submitCycle;
+  note("submit", jr.id, jr.submitCycle);
+  queue_.push_back(jr.id);
+  jobs_.push_back(std::move(jr));
+  if (started_) schedulePump();
+  return jobs_.back().id;
+}
+
+void ServiceNode::start() {
+  if (started_) return;
+  started_ = true;
+  for (int n = 0; n < parts_.size(); ++n) {
+    kernel::KernelBase& k = cluster_.kernelOn(n);
+    if (k.booted()) {
+      parts_.markReady(n);
+      continue;
+    }
+    parts_.markBooting(n);
+    k.boot([this, n] {
+      parts_.markReady(n);
+      note("node_ready", 0, engine().now(), {n});
+      schedulePump();
+    });
+  }
+  schedulePump();
+}
+
+void ServiceNode::schedulePump() {
+  if (pumpScheduled_) return;
+  pumpScheduled_ = true;
+  engine().schedule(cfg_.pollIntervalCycles, [this] { pump(); });
+}
+
+void ServiceNode::pump() {
+  pumpScheduled_ = false;
+  ras_.poll(engine().now());  // fatal handler may drain nodes here
+  pollCompletions();
+  trySchedule();
+  if (!idle() || anyNodeInFlight()) schedulePump();
+}
+
+void ServiceNode::pollCompletions() {
+  const std::vector<JobId> running = runningIds_;  // fatal path edits it
+  for (JobId id : running) {
+    JobRecord* jr = find(id);
+    if (jr == nullptr || jr->state != JobState::kRunning) continue;
+    bool allExited = true;
+    bool anyBad = false;
+    std::int64_t status = 0;
+    for (const auto& [node, pid] : jr->pids) {
+      kernel::Process* p = cluster_.kernelOn(node).processByPid(pid);
+      if (p == nullptr || !p->exited) {
+        allExited = false;
+        break;
+      }
+      if (p->exitStatus != 0) {
+        anyBad = true;
+        status = p->exitStatus;
+      }
+    }
+    if (allExited) finishJob(*jr, !anyBad, status);
+  }
+}
+
+void ServiceNode::trySchedule() {
+  if (queue_.empty()) return;
+  SchedContext ctx;
+  ctx.now = engine().now();
+  for (JobId id : queue_) ctx.queue.push_back(find(id));
+  ctx.readyNodes = [this](rt::KernelKind k) { return parts_.readyCount(k); };
+  for (JobId id : runningIds_) {
+    const JobRecord* jr = find(id);
+    ctx.running.push_back(RunningJobInfo{
+        jr->id, jr->desc.kernel, jr->desc.nodes,
+        jr->startCycle + jr->desc.estCycles});
+  }
+  std::vector<JobId> launched;
+  for (std::size_t qi : policy_->select(ctx)) {
+    JobRecord* jr = find(queue_[qi]);
+    const std::vector<int> nodes =
+        parts_.allocate(jr->desc.nodes, jr->desc.kernel);
+    if (static_cast<int>(nodes.size()) < jr->desc.nodes) continue;
+    if (launch(*jr, nodes)) launched.push_back(jr->id);
+  }
+  for (JobId id : launched) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
+                 queue_.end());
+  }
+}
+
+bool ServiceNode::launch(JobRecord& jr, const std::vector<int>& nodes) {
+  const sim::Cycle now = engine().now();
+  jr.pids.clear();
+  std::vector<int> loaded;
+  bool ok = true;
+  for (std::size_t i = 0; i < nodes.size() && ok; ++i) {
+    const int n = nodes[i];
+    kernel::JobSpec spec;
+    spec.exe = jr.desc.exe;
+    spec.processes = jr.desc.processes;
+    spec.libs = jr.desc.libs;
+    spec.sharedMemBytes = jr.desc.sharedMemBytes;
+    spec.firstRank = static_cast<int>(i) * jr.desc.processes;
+    const std::size_t before = cluster_.kernelOn(n).processes().size();
+    if (!cluster_.loadJobOnNode(n, spec)) {
+      ok = false;
+      break;
+    }
+    const auto& procs = cluster_.kernelOn(n).processes();
+    for (std::size_t pi = before; pi < procs.size(); ++pi) {
+      // FWK spawns its resident daemons lazily on first load; they are
+      // kernel infrastructure, not part of the job.
+      if (procs[pi]->kernelResident) continue;
+      jr.pids.emplace_back(n, procs[pi]->pid());
+    }
+    loaded.push_back(n);
+  }
+  if (!ok) {
+    // Partial launch: tear down what loaded and fail the job — a load
+    // rejection (image too big, bad spec) is not retryable.
+    for (int n : loaded) {
+      killUserThreadsOn(n);
+      scrubNode(n);
+    }
+    jr.state = JobState::kFailed;
+    jr.endCycle = now;
+    lastEnd_ = now;
+    note("load_reject", jr.id, now, nodes);
+    return false;
+  }
+  ++jr.attempts;
+  jr.startCycle = now;
+  if (jr.firstStartCycle == 0) jr.firstStartCycle = now;
+  jr.nodesHeld = nodes;
+  jr.state = JobState::kRunning;
+  for (int n : nodes) parts_.markRunning(n, jr.id, now);
+  runningIds_.push_back(jr.id);
+  note("launch", jr.id, now, nodes);
+  return true;
+}
+
+void ServiceNode::finishJob(JobRecord& jr, bool ok, std::int64_t status) {
+  const sim::Cycle now = engine().now();
+  for (int n : jr.nodesHeld) {
+    scrubNode(n);
+    parts_.release(n, now);
+  }
+  jr.state = ok ? JobState::kCompleted : JobState::kFailed;
+  jr.endCycle = now;
+  jr.exitStatus = status;
+  lastEnd_ = now;
+  note(ok ? "complete" : "fail", jr.id, now, jr.nodesHeld);
+  jr.nodesHeld.clear();
+  runningIds_.erase(
+      std::remove(runningIds_.begin(), runningIds_.end(), jr.id),
+      runningIds_.end());
+}
+
+void ServiceNode::onNodeFatal(int node, const kernel::RasEvent& e) {
+  const NodeLifecycle st = parts_.state(node);
+  if (st == NodeLifecycle::kDown || st == NodeLifecycle::kDraining ||
+      st == NodeLifecycle::kReset || st == NodeLifecycle::kBooting) {
+    return;  // already being handled
+  }
+  const sim::Cycle now = engine().now();
+  const JobId victim = parts_.jobOn(node);
+  ++failures_;
+  note("node_fatal", victim, now, {node});
+  (void)e;
+
+  killUserThreadsOn(node);
+  parts_.markDown(node, now);
+  engine().schedule(cfg_.repairCycles, [this, node] {
+    scrubNode(node);
+    cluster_.machine().resetNode(node);
+    parts_.markReset(node);
+    parts_.markBooting(node);
+    note("node_reboot", 0, engine().now(), {node});
+    cluster_.kernelOn(node).boot([this, node] {
+      parts_.markReady(node);
+      note("node_ready", 0, engine().now(), {node});
+      schedulePump();
+    });
+  });
+
+  if (victim == 0) return;
+  JobRecord* jr = find(victim);
+  runningIds_.erase(
+      std::remove(runningIds_.begin(), runningIds_.end(), victim),
+      runningIds_.end());
+  // Drain the rest of the job's partition: kill, wait out the grace
+  // period, scrub, return to service.
+  for (int h : jr->nodesHeld) {
+    if (h == node) continue;
+    killUserThreadsOn(h);
+    parts_.beginDrain(h, now);
+    engine().schedule(cfg_.drainCycles, [this, h] {
+      if (parts_.state(h) != NodeLifecycle::kDraining) return;
+      scrubNode(h);
+      parts_.release(h, engine().now());
+      note("node_drained", 0, engine().now(), {h});
+      schedulePump();
+    });
+  }
+  jr->nodesHeld.clear();
+  jr->pids.clear();
+  if (jr->attempts <= jr->desc.maxRetries) {
+    jr->state = JobState::kQueued;
+    queue_.push_back(jr->id);
+    ++retries_;
+    note("retry", jr->id, now);
+  } else {
+    jr->state = JobState::kFailed;
+    jr->endCycle = now;
+    jr->exitStatus = -1;
+    lastEnd_ = now;
+    note("fail", jr->id, now);
+  }
+}
+
+void ServiceNode::killUserThreadsOn(int node) {
+  kernel::KernelBase& k = cluster_.kernelOn(node);
+  for (auto& p : k.processes()) {
+    if (p->kernelResident || p->exited) continue;
+    for (auto& t : p->threads()) {
+      if (!t->ctx.done()) k.killThread(*t);
+    }
+    p->exited = true;  // a process with no threads yet still dies
+    p->exitStatus = -1;
+  }
+}
+
+void ServiceNode::scrubNode(int node) {
+  if (cluster_.kernelKindOn(node) == rt::KernelKind::kCnk) {
+    if (auto* c = cluster_.cnkOn(node)) c->unloadJob();
+  }
+  // FWK keeps exited processes in its table, as a real Linux would
+  // keep zombies until a reaper runs; jobDone() tolerates them.
+}
+
+void ServiceNode::note(const char* what, JobId id, sim::Cycle cycle,
+                       const std::vector<int>& nodes) {
+  hash_.mixString(what);
+  hash_.mix(id);
+  hash_.mix(cycle);
+  for (int n : nodes) hash_.mix(static_cast<std::uint64_t>(n));
+  char head[96];
+  std::snprintf(head, sizeof(head), "[%12llu] %-12s job=%-4u nodes=",
+                static_cast<unsigned long long>(cycle), what, id);
+  std::string line = head;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    line += (i != 0 ? "," : "") + std::to_string(nodes[i]);
+  }
+  timeline_.push_back(std::move(line));
+}
+
+JobRecord* ServiceNode::find(JobId id) {
+  return id == 0 || id > jobs_.size() ? nullptr
+                                      : &jobs_[static_cast<std::size_t>(id - 1)];
+}
+
+const JobRecord* ServiceNode::job(JobId id) const {
+  return id == 0 || id > jobs_.size() ? nullptr
+                                      : &jobs_[static_cast<std::size_t>(id - 1)];
+}
+
+bool ServiceNode::idle() const {
+  return queue_.empty() && runningIds_.empty();
+}
+
+bool ServiceNode::anyNodeInFlight() const {
+  for (int n = 0; n < parts_.size(); ++n) {
+    const NodeLifecycle s = parts_.state(n);
+    if (s == NodeLifecycle::kBooting || s == NodeLifecycle::kDraining ||
+        s == NodeLifecycle::kDown || s == NodeLifecycle::kReset) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ServiceNode::runUntilDrained(std::uint64_t maxEvents) {
+  start();
+  return engine().runWhile(
+      [this] { return idle() && !anyNodeInFlight(); }, maxEvents);
+}
+
+SvcMetrics ServiceNode::metrics() {
+  const sim::Cycle now = engine().now();
+  parts_.settle(now);
+  SvcMetrics m;
+  m.jobsSubmitted = jobs_.size();
+  for (const JobRecord& jr : jobs_) {
+    if (jr.state == JobState::kCompleted) ++m.jobsCompleted;
+    if (jr.state == JobState::kFailed) ++m.jobsFailed;
+  }
+  m.jobRetries = retries_;
+  const sim::Cycle end = lastEnd_ != 0 ? lastEnd_ : now;
+  m.elapsedCycles = end > firstSubmit_ ? end - firstSubmit_ : 0;
+  m.elapsedSeconds = sim::cyclesToSec(m.elapsedCycles);
+  m.jobsPerSecond = m.elapsedSeconds > 0
+                        ? static_cast<double>(m.jobsCompleted) /
+                              m.elapsedSeconds
+                        : 0;
+  std::uint64_t waits = 0;
+  std::uint64_t started = 0;
+  for (const JobRecord& jr : jobs_) {
+    if (jr.firstStartCycle == 0) continue;
+    const std::uint64_t w = jr.firstStartCycle - jr.submitCycle;
+    waits += w;
+    m.maxQueueWaitCycles = std::max(m.maxQueueWaitCycles, w);
+    ++started;
+  }
+  m.meanQueueWaitCycles =
+      started > 0 ? static_cast<double>(waits) / static_cast<double>(started)
+                  : 0;
+  m.nodes = parts_.size();
+  if (m.elapsedCycles > 0 && m.nodes > 0) {
+    m.utilization = static_cast<double>(parts_.totalBusyCycles()) /
+                    (static_cast<double>(m.elapsedCycles) *
+                     static_cast<double>(m.nodes));
+  }
+  m.nodeFailures = failures_;
+  using Sev = kernel::RasEvent::Severity;
+  m.rasInfo = ras_.countBySeverity(Sev::kInfo);
+  m.rasWarn = ras_.countBySeverity(Sev::kWarn);
+  m.rasError = ras_.countBySeverity(Sev::kError);
+  m.rasFatal = ras_.countBySeverity(Sev::kFatal);
+  m.rasThrottled = ras_.throttled();
+  m.rasDropped = ras_.dropped();
+  m.scheduleHash = hash_.digest();
+  return m;
+}
+
+void ServiceNode::injectNodeFailure(int node, sim::Cycle atCycle) {
+  engine().scheduleAt(atCycle, [this, node] {
+    ras_.injectNodeFailure(node, 0xDEADBEEF);
+    schedulePump();
+  });
+}
+
+}  // namespace bg::svc

@@ -1,0 +1,130 @@
+// The service node: Blue Gene's control system in miniature.
+//
+// The paper's CNK is deliberately thin because a separate service node
+// does the heavy lifting — booting partitions, launching jobs,
+// collecting RAS events, taking failed nodes out of service (§III,
+// §IV). This class reproduces that division of labor over a simulated
+// rt::Cluster: a partition manager tracks per-node lifecycle, a
+// pluggable scheduler (FIFO / EASY backfill) drains a job queue onto
+// free node blocks, and a RAS aggregator fans the per-kernel logs into
+// one stream whose fatal events drive drain/retry/reboot.
+//
+// Everything runs as events on the cluster's deterministic engine, so
+// a whole job stream — including injected node failures — replays
+// cycle-exactly from a seed; scheduleHash() is the witness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "sim/hash.hpp"
+#include "svc/job.hpp"
+#include "svc/metrics.hpp"
+#include "svc/partition.hpp"
+#include "svc/ras.hpp"
+#include "svc/scheduler.hpp"
+
+namespace bg::svc {
+
+struct ServiceNodeConfig {
+  SchedPolicyKind policy = SchedPolicyKind::kBackfill;
+  /// Control-loop cadence: RAS polling, completion checks, and
+  /// scheduling rounds happen every this many cycles.
+  sim::Cycle pollIntervalCycles = 50'000;
+  /// Grace period a draining node waits before it is scrubbed and
+  /// returned to service (lets in-flight events for killed threads
+  /// land while the kernel still owns them).
+  sim::Cycle drainCycles = 200'000;
+  /// Repair time for a node lost to a fatal RAS event, after which it
+  /// is reset and rebooted.
+  sim::Cycle repairCycles = 2'000'000;
+  RasAggregatorConfig ras;
+};
+
+class ServiceNode {
+ public:
+  ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg = {});
+
+  /// Enqueue a job; scheduling happens on the control loop. Returns
+  /// the job id (ids start at 1).
+  JobId submit(JobDesc desc);
+
+  /// Boot every not-yet-booted kernel (lifecycle reset → booting →
+  /// ready) and start the control loop. Idempotent.
+  void start();
+
+  /// Drive the engine until the queue and all running jobs drain (and
+  /// no node is mid-drain/repair). Returns false on event-budget
+  /// exhaustion or a wedged queue (e.g. a job wider than the machine).
+  /// Callers that schedule future submit events should drive the
+  /// engine themselves and test drained() plus their own arrival
+  /// bookkeeping.
+  bool runUntilDrained(std::uint64_t maxEvents = 400'000'000);
+
+  /// True when no job is queued or running and every node is parked in
+  /// ready (no boot/drain/repair in flight).
+  bool drained() const { return idle() && !anyNodeInFlight(); }
+
+  /// Deterministic fault injection: at `atCycle` (absolute), report a
+  /// fatal kNodeFailure on `node`. The control loop then kills the
+  /// node's job, drains its partition, requeues the job (up to
+  /// maxRetries), and repairs + reboots the node.
+  void injectNodeFailure(int node, sim::Cycle atCycle);
+
+  const JobRecord* job(JobId id) const;
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  PartitionManager& partitions() { return parts_; }
+  RasAggregator& ras() { return ras_; }
+  const SchedulerPolicy& policy() const { return *policy_; }
+
+  SvcMetrics metrics();
+  /// FNV digest over every scheduling decision (submit / launch /
+  /// complete / fail / retry / node transitions) with its cycle — two
+  /// runs scheduled identically iff the hashes match.
+  std::uint64_t scheduleHash() const { return hash_.digest(); }
+  /// Human-readable event log, one line per decision (jobstream_tour).
+  const std::vector<std::string>& timeline() const { return timeline_; }
+
+ private:
+  sim::Engine& engine() { return cluster_.engine(); }
+
+  void schedulePump();
+  void pump();
+  void pollCompletions();
+  void trySchedule();
+  bool launch(JobRecord& jr, const std::vector<int>& nodes);
+  void finishJob(JobRecord& jr, bool ok, std::int64_t status);
+  void onNodeFatal(int node, const kernel::RasEvent& e);
+  void killUserThreadsOn(int node);
+  void scrubNode(int node);  // post-drain kernel cleanup (CNK unload)
+  void note(const char* what, JobId id, sim::Cycle cycle,
+            const std::vector<int>& nodes = {});
+  JobRecord* find(JobId id);
+  bool idle() const;
+  bool anyNodeInFlight() const;
+
+  rt::Cluster& cluster_;
+  ServiceNodeConfig cfg_;
+  PartitionManager parts_;
+  RasAggregator ras_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  std::vector<JobRecord> jobs_;   // indexed by id - 1
+  std::deque<JobId> queue_;       // FIFO order
+  std::vector<JobId> runningIds_;
+  JobId nextId_ = 1;
+  bool started_ = false;
+  bool pumpScheduled_ = false;
+  sim::Fnv1a hash_;
+  std::vector<std::string> timeline_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failures_ = 0;  // node failures handled
+  sim::Cycle firstSubmit_ = 0;
+  sim::Cycle lastEnd_ = 0;
+};
+
+}  // namespace bg::svc

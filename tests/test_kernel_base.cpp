@@ -3,6 +3,8 @@
 // image determinism, process bookkeeping, MPI broadcast.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cluster_test_util.hpp"
 #include "kernel/elf.hpp"
 #include "kernel/syscalls.hpp"
@@ -167,11 +169,18 @@ TEST(Ras, LogRecordsMachineCheckAndKills) {
   ASSERT_TRUE(r.completed);
   const auto& log = cluster->kernelOn(0).rasLog();
   ASSERT_GE(log.size(), 2u);
-  EXPECT_EQ(log[0].code, kernel::RasEvent::Code::kMachineCheck);
+  // The job-load marker comes first; the machine check follows it.
+  EXPECT_EQ(log[0].code, kernel::RasEvent::Code::kJobLoaded);
+  bool sawMc = false;
   bool sawKill = false;
   for (const auto& e : log) {
+    if (e.code == kernel::RasEvent::Code::kMachineCheck) {
+      sawMc = true;
+      EXPECT_EQ(e.severity, kernel::RasEvent::Severity::kWarn);
+    }
     if (e.code == kernel::RasEvent::Code::kThreadKilled) sawKill = true;
   }
+  EXPECT_TRUE(sawMc);
   EXPECT_TRUE(sawKill);
 }
 
@@ -186,8 +195,13 @@ TEST(Ras, SegvLogsFaultingAddress) {
   ASSERT_TRUE(r.completed);
   const auto& log = cluster->kernelOn(0).rasLog();
   ASSERT_FALSE(log.empty());
-  EXPECT_EQ(log[0].code, kernel::RasEvent::Code::kSegv);
-  EXPECT_EQ(log[0].detail, 0x7ABC0000u);
+  const auto segv =
+      std::find_if(log.begin(), log.end(), [](const kernel::RasEvent& e) {
+        return e.code == kernel::RasEvent::Code::kSegv;
+      });
+  ASSERT_NE(segv, log.end());
+  EXPECT_EQ(segv->detail, 0x7ABC0000u);
+  EXPECT_EQ(segv->severity, kernel::RasEvent::Severity::kError);
 }
 
 // ---------------- MPI bcast ----------------
