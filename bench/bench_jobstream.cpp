@@ -2,12 +2,16 @@
 // subsystem (src/svc): a seeded stream of 100+ mixed CNK/FWK jobs
 // arrives at an 8-node heterogeneous machine, one node dies mid-run
 // (injected fatal RAS event), and the scheduler drains the backlog
-// through drain/retry/reboot. Reports jobs/sec, queue wait, node
-// utilization, and RAS counts; --json writes them machine-readably.
+// through drain/retry/reboot. With --crashes N the service node itself
+// fail-stops N times at seeded cycles and restarts from its
+// persistent-memory checkpoint (--restart-delay sets the outage).
+// Reports jobs/sec, queue wait, node utilization, RAS counts, and
+// failover counters; --json writes them machine-readably.
 //
-// The whole stream — arrivals, placements, the failure, the retry —
-// runs on the deterministic event engine, so two runs with the same
-// seed produce an identical schedule hash (verified every run).
+// The whole stream — arrivals, placements, the failure, the retry,
+// every crash and restart — runs on the deterministic event engine, so
+// two runs with the same seed produce an identical schedule hash
+// (verified every run).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -15,6 +19,7 @@
 
 #include "bench_util.hpp"
 #include "runtime/app.hpp"
+#include "svc/failover.hpp"
 #include "svc/service_node.hpp"
 #include "vm/builder.hpp"
 
@@ -30,6 +35,8 @@ struct StreamParams {
   svc::SchedPolicyKind policy = svc::SchedPolicyKind::kBackfill;
   int failNode = 2;
   sim::Cycle failCycle = 4'000'000;
+  int crashes = 0;                     // service-node fail-stops
+  sim::Cycle restartDelay = 250'000;   // outage length per crash
 };
 
 std::shared_ptr<kernel::ElfImage> workImage(int id, std::uint64_t reps,
@@ -47,6 +54,7 @@ struct StreamResult {
   svc::SvcMetrics metrics;
   bool drained = false;
   std::uint64_t retries = 0;
+  std::uint64_t coldStarts = 0;
 };
 
 StreamResult runStream(const StreamParams& p) {
@@ -62,7 +70,7 @@ StreamResult runStream(const StreamParams& p) {
 
   svc::ServiceNodeConfig scfg;
   scfg.policy = p.policy;
-  svc::ServiceNode sn(cluster, scfg);
+  svc::ServiceHost host(cluster, scfg);
 
   // Seeded job mix: width 1-3, ~1/4 FWK, work 100K-600K cycles.
   sim::Rng rng(p.seed, "jobstream");
@@ -80,24 +88,44 @@ StreamResult runStream(const StreamParams& p) {
     jd.exe = workImage(i, reps, perRep);
     jd.estCycles = reps * perRep + 120'000;  // user estimate incl. slack
     arrival += rng.nextBelow(60'000);
-    cluster.engine().scheduleAt(arrival, [&sn, jd, &submitted] {
-      sn.submit(jd);
+    cluster.engine().scheduleAt(arrival, [&host, jd, &submitted] {
+      host.submit(jd);
       ++submitted;
     });
   }
+  const sim::Cycle lastArrival = arrival;
 
-  sn.injectNodeFailure(p.failNode, p.failCycle);
-  sn.start();
+  // The node death goes straight into the victim kernel's RAS ring so
+  // it lands even if the service node happens to be down at that
+  // cycle; the (restarted) control plane picks it up on its next poll.
+  cluster.engine().scheduleAt(p.failCycle, [&cluster, &host, n = p.failNode] {
+    cluster.kernelOn(n).logRas(kernel::RasEvent::Code::kNodeFailure,
+                               kernel::RasEvent::Severity::kFatal, 0, 0,
+                               0xFA11);
+    if (host.alive()) host.node().poke();
+  });
+
+  // Seeded service-node fail-stops spread across the arrival window.
+  sim::Rng crng(p.seed, "svc-crash");
+  for (int c = 0; c < p.crashes; ++c) {
+    const sim::Cycle at = 200'000 + crng.nextBelow(lastArrival + 2'000'000);
+    host.scheduleCrashRestart(at, p.restartDelay);
+  }
+
+  host.start();
 
   StreamResult r;
   r.drained = cluster.engine().runWhile(
-      [&] { return submitted == p.jobs && sn.drained(); }, 2'000'000'000ULL);
-  r.metrics = sn.metrics();
+      [&] { return submitted == p.jobs && host.drained(); },
+      2'000'000'000ULL);
+  r.metrics = host.metrics();
   r.retries = r.metrics.jobRetries;
+  r.coldStarts = host.coldStarts();
   return r;
 }
 
-void printMetrics(const char* title, const svc::SvcMetrics& m) {
+void printMetrics(const char* title, const StreamResult& res) {
+  const svc::SvcMetrics& m = res.metrics;
   std::printf("\n%s\n", title);
   bg::bench::printRule();
   std::printf("jobs: %llu submitted, %llu completed, %llu failed, "
@@ -122,6 +150,15 @@ void printMetrics(const char* title, const svc::SvcMetrics& m) {
               static_cast<unsigned long long>(m.rasFatal),
               static_cast<unsigned long long>(m.rasThrottled),
               static_cast<unsigned long long>(m.rasDropped));
+  std::printf("failover: %llu svc crashes, %llu restarts (%llu cold), "
+              "%llu checkpoint saves (%llu bytes last), "
+              "%llu predictive drains\n",
+              static_cast<unsigned long long>(m.serviceCrashes),
+              static_cast<unsigned long long>(m.serviceRestarts),
+              static_cast<unsigned long long>(res.coldStarts),
+              static_cast<unsigned long long>(m.checkpointSaves),
+              static_cast<unsigned long long>(m.checkpointBytes),
+              static_cast<unsigned long long>(m.predictiveDrains));
   std::printf("schedule hash: %016llx\n",
               static_cast<unsigned long long>(m.scheduleHash));
 }
@@ -140,24 +177,30 @@ int main(int argc, char** argv) {
       p.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--fifo") == 0) {
       p.policy = svc::SchedPolicyKind::kFifo;
+    } else if (std::strcmp(argv[i], "--crashes") == 0 && i + 1 < argc) {
+      p.crashes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--restart-delay") == 0 && i + 1 < argc) {
+      p.restartDelay = static_cast<sim::Cycle>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
     }
   }
 
   std::printf("job-stream benchmark: %d jobs, %d nodes (%d FWK), "
-              "policy=%s, node %d dies at cycle %llu, seed=%llu\n",
+              "policy=%s, node %d dies at cycle %llu, seed=%llu, "
+              "%d svc crashes (outage %llu cycles)\n",
               p.jobs, p.nodes, p.fwkNodes,
               p.policy == svc::SchedPolicyKind::kFifo ? "fifo" : "backfill",
               p.failNode, static_cast<unsigned long long>(p.failCycle),
-              static_cast<unsigned long long>(p.seed));
+              static_cast<unsigned long long>(p.seed), p.crashes,
+              static_cast<unsigned long long>(p.restartDelay));
 
   const StreamResult run1 = runStream(p);
   if (!run1.drained) {
     std::fprintf(stderr, "stream did not drain\n");
     return 1;
   }
-  printMetrics("run 1", run1.metrics);
+  printMetrics("run 1", run1);
 
   // Determinism witness: replay the identical stream.
   const StreamResult run2 = runStream(p);
@@ -175,7 +218,10 @@ int main(int argc, char** argv) {
     j.set("seed", p.seed);
     j.set("policy",
           p.policy == svc::SchedPolicyKind::kFifo ? "fifo" : "backfill");
+    j.set("crashes", static_cast<std::int64_t>(p.crashes));
+    j.set("restart_delay", p.restartDelay);
     j.set("metrics", run1.metrics.toJson());
+    j.set("cold_starts", run1.coldStarts);
     j.set("replay_hash_match", match);
     if (!j.writeFile(jsonPath)) {
       std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());

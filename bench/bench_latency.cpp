@@ -199,8 +199,11 @@ double measure(Proto p, rt::KernelKind kind) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool compareFwk =
-      argc > 1 && std::strcmp(argv[1], "--fwk") == 0;
+  bool compareFwk = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fwk") == 0) compareFwk = true;
+  }
+  const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
 
   const Row rows[] = {
       {"DCMF Eager One-way", Proto::kDcmfEager, 1.6},
@@ -212,14 +215,20 @@ int main(int argc, char** argv) {
       {"ARMCI blocking Get", Proto::kArmciGet, 3.3},
   };
 
+  sim::Json jcnk = sim::Json::object();
   std::printf("Table I: latency for various programming models, SMP mode\n");
   bg::bench::printRule();
   std::printf("%-26s %14s %12s\n", "Protocol", "measured(us)", "paper(us)");
   for (const Row& r : rows) {
     const double us = measure(r.proto, rt::KernelKind::kCnk);
     std::printf("%-26s %14.2f %12.1f\n", r.name, us, r.paperUs);
+    sim::Json row = sim::Json::object();
+    row.set("measured_us", us);
+    row.set("paper_us", r.paperUs);
+    jcnk.set(r.name, std::move(row));
   }
 
+  sim::Json jfwk = sim::Json::object();
   if (compareFwk) {
     std::printf("\nSame operations with a Linux-style kernel path "
                 "(per-page pinning + bounce buffers):\n");
@@ -227,7 +236,18 @@ int main(int argc, char** argv) {
     for (const Row& r : rows) {
       const double us = measure(r.proto, rt::KernelKind::kFwk);
       std::printf("%-26s %14.2f %12s\n", r.name, us, "-");
+      sim::Json row = sim::Json::object();
+      row.set("measured_us", us);
+      jfwk.set(r.name, std::move(row));
     }
+  }
+
+  if (jsonPath != nullptr) {
+    sim::Json j = sim::Json::object();
+    j.set("bench", "latency");
+    j.set("cnk", std::move(jcnk));
+    if (compareFwk) j.set("fwk", std::move(jfwk));
+    if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
   }
   return 0;
 }

@@ -74,50 +74,79 @@ std::vector<std::uint64_t> allreduceRun(rt::KernelKind kind, int nodes,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
   const int linpackRunsCount = quick ? 8 : 36;
   const int allreduceIters = quick ? 400 : 4000;
 
   std::printf("Performance stability (paper SectionV-D)\n\n");
 
   // ---- LINPACK repeatability ----
+  sim::Json jlinpack = sim::Json::object();
   std::printf("LINPACK proxy, %d runs, 4 nodes\n", linpackRunsCount);
   bg::bench::printRule();
   for (auto kind : {rt::KernelKind::kCnk, rt::KernelKind::kFwk}) {
+    const char* name = kind == rt::KernelKind::kCnk ? "CNK" : "Linux(FWK)";
     const auto totals = linpackRuns(kind, linpackRunsCount, 4);
     const auto s = bg::bench::computeStats(totals);
     std::printf("%-12s runs=%llu min=%llu max=%llu variation=%.5f%% "
                 "stddev=%.1f cyc (%.3f us)\n",
-                kind == rt::KernelKind::kCnk ? "CNK" : "Linux(FWK)",
+                name,
                 static_cast<unsigned long long>(s.n),
                 static_cast<unsigned long long>(s.min),
                 static_cast<unsigned long long>(s.max),
                 s.min ? bg::bench::pct(s.max - s.min, s.min) : 0.0,
                 s.stddev, sim::cyclesToUs(static_cast<sim::Cycle>(s.stddev)));
+    sim::Json row = bg::bench::statsToJson(s);
+    row.set("stddev_us", sim::cyclesToUs(static_cast<sim::Cycle>(s.stddev)));
+    jlinpack.set(name, std::move(row));
   }
   std::printf("paper: CNK 36 runs varied 2.11s over 16081s = 0.013%%, "
               "sigma < 1.14s\n\n");
 
   // ---- mpiBench_Allreduce ----
+  sim::Json jallreduce = sim::Json::object();
   std::printf("mpiBench_Allreduce double-sum, per-iteration sigma\n");
   bg::bench::printRule();
   {
     const auto cnk = allreduceRun(rt::KernelKind::kCnk, 16, allreduceIters);
     const auto s = bg::bench::computeStats(cnk);
+    const double sigmaUs = s.stddev * 1e6 / static_cast<double>(sim::kCoreHz);
     std::printf("%-12s 16 nodes, %zu iters: mean=%.3f us sigma=%.4f us\n",
                 "CNK", cnk.size(), sim::cyclesToUs(
                     static_cast<sim::Cycle>(s.mean)),
-                s.stddev * 1e6 / static_cast<double>(sim::kCoreHz));
+                sigmaUs);
+    sim::Json row = bg::bench::statsToJson(s);
+    row.set("mean_us", sim::cyclesToUs(static_cast<sim::Cycle>(s.mean)));
+    row.set("sigma_us", sigmaUs);
+    jallreduce.set("CNK", std::move(row));
   }
   {
     const auto fwk = allreduceRun(rt::KernelKind::kFwk, 4, allreduceIters);
     const auto s = bg::bench::computeStats(fwk);
+    const double sigmaUs = s.stddev * 1e6 / static_cast<double>(sim::kCoreHz);
     std::printf("%-12s  4 nodes, %zu iters: mean=%.3f us sigma=%.4f us\n",
                 "Linux(FWK)", fwk.size(), sim::cyclesToUs(
                     static_cast<sim::Cycle>(s.mean)),
-                s.stddev * 1e6 / static_cast<double>(sim::kCoreHz));
+                sigmaUs);
+    sim::Json row = bg::bench::statsToJson(s);
+    row.set("mean_us", sim::cyclesToUs(static_cast<sim::Cycle>(s.mean)));
+    row.set("sigma_us", sigmaUs);
+    jallreduce.set("Linux(FWK)", std::move(row));
   }
   std::printf("paper: CNK sigma = 0.0007 us (effectively 0); "
               "Linux sigma = 8.9 us\n");
+
+  if (jsonPath != nullptr) {
+    sim::Json j = sim::Json::object();
+    j.set("bench", "stability");
+    j.set("quick", quick);
+    j.set("linpack", std::move(jlinpack));
+    j.set("allreduce", std::move(jallreduce));
+    if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
+  }
   return 0;
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff two benchmark --json runs.
+
+Walks both JSON trees, compares every numeric leaf they share, and
+reports the relative change. Exits nonzero when any leaf moved by more
+than the tolerance, so CI can pin a baseline run and fail on drift:
+
+    bench_jobstream --json base.json
+    ... change something ...
+    bench_jobstream --json new.json
+    python3 bench/diff_runs.py base.json new.json --tol-pct 5
+
+Non-numeric leaves (names, hashes, booleans) are compared for equality
+and reported when they differ, but only numeric drift beyond tolerance
+fails the run. Keys present in just one file are listed as added or
+removed and do not fail the diff.
+"""
+
+import argparse
+import json
+import sys
+
+
+def leaves(obj, prefix=""):
+    """Yield (path, value) for every leaf in a JSON tree."""
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from leaves(v, f"{prefix}/{k}")
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            yield from leaves(v, f"{prefix}[{i}]")
+    else:
+        yield prefix, obj
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", help="baseline run JSON")
+    ap.add_argument("new", help="new run JSON")
+    ap.add_argument("--tol-pct", type=float, default=5.0,
+                    help="allowed relative change per numeric leaf "
+                         "(percent, default 5)")
+    ap.add_argument("--abs-floor", type=float, default=1e-9,
+                    help="absolute deltas below this never fail "
+                         "(guards near-zero baselines)")
+    ap.add_argument("--all", action="store_true",
+                    help="print every compared leaf, not just changes")
+    args = ap.parse_args()
+
+    with open(args.base) as f:
+        base = dict(leaves(json.load(f)))
+    with open(args.new) as f:
+        new = dict(leaves(json.load(f)))
+
+    removed = sorted(set(base) - set(new))
+    added = sorted(set(new) - set(base))
+    shared = sorted(set(base) & set(new))
+
+    failures = 0
+    for path in shared:
+        b, n = base[path], new[path]
+        if is_number(b) and is_number(n):
+            delta = n - b
+            if abs(delta) <= args.abs_floor:
+                if args.all:
+                    print(f"  ok      {path}: {b}")
+                continue
+            rel = abs(delta) / abs(b) * 100.0 if b != 0 else float("inf")
+            over = rel > args.tol_pct
+            if over or args.all:
+                tag = "FAIL" if over else "ok"
+                print(f"  {tag:7} {path}: {b} -> {n} "
+                      f"({'+' if delta >= 0 else ''}{rel:.2f}%)"
+                      if b != 0 else
+                      f"  {tag:7} {path}: {b} -> {n}")
+            failures += over
+        elif b != n:
+            print(f"  CHANGED {path}: {b!r} -> {n!r}")
+
+    for path in removed:
+        print(f"  removed {path}")
+    for path in added:
+        print(f"  added   {path}")
+
+    print(f"{len(shared)} leaves compared, {failures} over "
+          f"{args.tol_pct}% tolerance, "
+          f"{len(added)} added, {len(removed)} removed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

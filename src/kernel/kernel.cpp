@@ -128,6 +128,7 @@ void KernelBase::logRas(RasEvent::Code code, RasEvent::Severity severity,
                         std::uint64_t detail) {
   rasLog_.push_back(
       RasEvent{engine().now(), code, severity, pid, tid, detail, rasNextSeq_++});
+  ++rasBySeverity_[static_cast<std::size_t>(severity)];
   trimRasLog();
 }
 

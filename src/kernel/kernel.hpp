@@ -3,6 +3,7 @@
 // copies, and the syscalls whose semantics are kernel-agnostic.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -153,6 +154,13 @@ class KernelBase : public hw::KernelIf {
   /// stay in chronological order; `seq` survives drops.
   const std::deque<RasEvent>& rasLog() const { return rasLog_; }
   std::uint64_t rasDropped() const { return rasDropped_; }
+  /// Lifetime count of events logged at `s`, kept at log time so it
+  /// stays accurate even after the bounded ring drops the entries.
+  /// The service node's predictive-drain accounting (src/svc) checks
+  /// its own sliding-window warn counts against these totals.
+  std::uint64_t rasLoggedBySeverity(RasEvent::Severity s) const {
+    return rasBySeverity_[static_cast<std::size_t>(s)];
+  }
   std::uint64_t rasNextSeq() const { return rasNextSeq_; }
   void setRasLogCapacity(std::size_t cap) { rasLogCap_ = cap; trimRasLog(); }
   std::size_t rasLogCapacity() const { return rasLogCap_; }
@@ -192,6 +200,7 @@ class KernelBase : public hw::KernelIf {
   std::size_t rasLogCap_ = 1024;
   std::uint64_t rasDropped_ = 0;
   std::uint64_t rasNextSeq_ = 0;
+  std::array<std::uint64_t, 4> rasBySeverity_{};
 
  private:
   void trimRasLog();

@@ -23,6 +23,11 @@ class Fnv1a {
 
   std::uint64_t digest() const { return h_; }
 
+  /// Resume from a previously captured digest — the FNV-1a state is
+  /// its running hash value, so a checkpointed digest continues the
+  /// same stream (service-node restart keeps its schedule hash).
+  void restore(std::uint64_t h) { h_ = h; }
+
  private:
   std::uint64_t h_ = 0xCBF29CE484222325ULL;
 };

@@ -1,0 +1,148 @@
+#include "svc/checkpoint.hpp"
+
+namespace bg::svc {
+namespace {
+
+void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e) {
+  const JobRecord& j = e.rec;
+  w.u32(j.id);
+  w.str(j.desc.name);
+  w.u8(j.desc.kernel == rt::KernelKind::kCnk ? 0 : 1);
+  w.u32(static_cast<std::uint32_t>(j.desc.nodes));
+  w.u32(static_cast<std::uint32_t>(j.desc.processes));
+  w.u64(j.desc.sharedMemBytes);
+  w.u64(j.desc.estCycles);
+  w.u32(static_cast<std::uint32_t>(j.desc.maxRetries));
+  w.str(e.exeName);
+  w.u64(e.libNames.size());
+  for (const std::string& n : e.libNames) w.str(n);
+  w.u8(static_cast<std::uint8_t>(j.state));
+  w.u64(j.submitCycle);
+  w.u64(j.firstStartCycle);
+  w.u64(j.startCycle);
+  w.u64(j.endCycle);
+  w.u32(static_cast<std::uint32_t>(j.attempts));
+  w.u64(j.nodesHeld.size());
+  for (int n : j.nodesHeld) w.u32(static_cast<std::uint32_t>(n));
+  w.u64(j.pids.size());
+  for (const auto& [node, pid] : j.pids) {
+    w.u32(static_cast<std::uint32_t>(node));
+    w.u32(pid);
+  }
+  w.i64(j.exitStatus);
+}
+
+bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
+  JobRecord& j = e.rec;
+  j.id = r.u32();
+  j.desc.name = r.str();
+  j.desc.kernel = r.u8() == 0 ? rt::KernelKind::kCnk : rt::KernelKind::kFwk;
+  j.desc.nodes = static_cast<int>(r.u32());
+  j.desc.processes = static_cast<int>(r.u32());
+  j.desc.sharedMemBytes = r.u64();
+  j.desc.estCycles = r.u64();
+  j.desc.maxRetries = static_cast<int>(r.u32());
+  e.exeName = r.str();
+  const std::uint64_t nl = r.u64();
+  for (std::uint64_t i = 0; i < nl && r.ok(); ++i) {
+    e.libNames.push_back(r.str());
+  }
+  j.state = static_cast<JobState>(r.u8());
+  j.submitCycle = r.u64();
+  j.firstStartCycle = r.u64();
+  j.startCycle = r.u64();
+  j.endCycle = r.u64();
+  j.attempts = static_cast<int>(r.u32());
+  const std::uint64_t nh = r.u64();
+  for (std::uint64_t i = 0; i < nh && r.ok(); ++i) {
+    j.nodesHeld.push_back(static_cast<int>(r.u32()));
+  }
+  const std::uint64_t np = r.u64();
+  for (std::uint64_t i = 0; i < np && r.ok(); ++i) {
+    const int node = static_cast<int>(r.u32());
+    const std::uint32_t pid = r.u32();
+    j.pids.emplace_back(node, pid);
+  }
+  j.exitStatus = r.i64();
+  return r.ok();
+}
+
+}  // namespace
+
+void SvcCheckpoint::encode(sim::ByteWriter& w) const {
+  w.u32(kVersion);
+  w.u64(takenAt);
+  w.u64(scheduleHash);
+  w.u32(nextId);
+  w.u64(retries);
+  w.u64(failures);
+  w.u64(predictiveDrains);
+  w.u64(firstSubmit);
+  w.u64(lastEnd);
+  w.u64(pumpDue);
+  w.u64(jobs.size());
+  for (const JobEntry& e : jobs) encodeJob(w, e);
+  w.u64(queue.size());
+  for (JobId id : queue) w.u32(id);
+  w.u64(running.size());
+  for (JobId id : running) w.u32(id);
+  w.u64(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PartitionManager::NodeSnapshot& s = nodes[i];
+    w.u8(s.kernel == rt::KernelKind::kCnk ? 0 : 1);
+    w.u8(static_cast<std::uint8_t>(s.state));
+    w.u32(s.job);
+    w.u64(s.busySince);
+    w.u64(s.busyCycles);
+    w.u64(s.failures);
+    w.u8(static_cast<std::uint8_t>(ops[i].kind));
+    w.u64(ops[i].due);
+  }
+  w.u64(timeline.size());
+  for (const std::string& line : timeline) w.str(line);
+}
+
+bool SvcCheckpoint::decode(sim::ByteReader& r) {
+  if (r.u32() != kVersion) return false;
+  takenAt = r.u64();
+  scheduleHash = r.u64();
+  nextId = r.u32();
+  retries = r.u64();
+  failures = r.u64();
+  predictiveDrains = r.u64();
+  firstSubmit = r.u64();
+  lastEnd = r.u64();
+  pumpDue = r.u64();
+  const std::uint64_t nj = r.u64();
+  for (std::uint64_t i = 0; i < nj && r.ok(); ++i) {
+    JobEntry e;
+    if (!decodeJob(r, e)) return false;
+    jobs.push_back(std::move(e));
+  }
+  const std::uint64_t nq = r.u64();
+  for (std::uint64_t i = 0; i < nq && r.ok(); ++i) queue.push_back(r.u32());
+  const std::uint64_t nr = r.u64();
+  for (std::uint64_t i = 0; i < nr && r.ok(); ++i) running.push_back(r.u32());
+  const std::uint64_t nn = r.u64();
+  for (std::uint64_t i = 0; i < nn && r.ok(); ++i) {
+    PartitionManager::NodeSnapshot s;
+    s.kernel = r.u8() == 0 ? rt::KernelKind::kCnk : rt::KernelKind::kFwk;
+    s.state = static_cast<NodeLifecycle>(r.u8());
+    s.job = r.u32();
+    s.busySince = r.u64();
+    s.busyCycles = r.u64();
+    s.failures = r.u64();
+    PendingNodeOp op;
+    op.kind = static_cast<PendingNodeOp::Kind>(r.u8());
+    op.due = r.u64();
+    nodes.push_back(s);
+    ops.push_back(op);
+  }
+  const std::uint64_t nt = r.u64();
+  for (std::uint64_t i = 0; i < nt && r.ok(); ++i) {
+    timeline.push_back(r.str());
+  }
+  return r.ok();
+}
+
+}  // namespace bg::svc

@@ -1,0 +1,69 @@
+// Serializable image of the service node's control-plane state.
+//
+// The paper's availability story (§III-IV) rests on the service node
+// owning all job state; this file defines what "all job state" is for
+// our control plane: the scheduler queue, the running-job table with
+// its (node, pid) leases, retry counters, per-node lifecycle with any
+// pending drain/repair deadline, the RAS cursors, and the running
+// schedule-hash. A restarted service node rebuilt from this image
+// resumes the identical schedule — executables are referenced by name
+// and resolved through the CheckpointStore's image catalog (the
+// simulated shared filesystem), never embedded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/bytes.hpp"
+#include "sim/types.hpp"
+#include "svc/job.hpp"
+#include "svc/partition.hpp"
+
+namespace bg::svc {
+
+/// A timer the service node had armed for a node when the checkpoint
+/// was taken. Restart re-schedules it at the persisted absolute due
+/// cycle (clamped to now), so drain grace periods and repair windows
+/// keep their original deadlines across a control-plane crash.
+struct PendingNodeOp {
+  enum class Kind : std::uint8_t { kNone, kDrainDone, kRepairDone };
+  Kind kind = Kind::kNone;
+  sim::Cycle due = 0;
+};
+
+struct SvcCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  struct JobEntry {
+    JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty
+    std::string exeName;
+    std::vector<std::string> libNames;
+  };
+
+  sim::Cycle takenAt = 0;
+  std::uint64_t scheduleHash = 0;
+  JobId nextId = 1;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t predictiveDrains = 0;
+  sim::Cycle firstSubmit = 0;
+  sim::Cycle lastEnd = 0;
+  /// Absolute cycle the next control-loop pump was scheduled for;
+  /// 0 = none pending (queue drained).
+  sim::Cycle pumpDue = 0;
+
+  std::vector<JobEntry> jobs;
+  std::deque<JobId> queue;
+  std::vector<JobId> running;
+  std::vector<PartitionManager::NodeSnapshot> nodes;
+  std::vector<PendingNodeOp> ops;  // parallel to nodes
+  std::vector<std::string> timeline;
+
+  void encode(sim::ByteWriter& w) const;
+  /// Returns false on version mismatch or truncation.
+  bool decode(sim::ByteReader& r);
+};
+
+}  // namespace bg::svc

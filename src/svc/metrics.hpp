@@ -30,6 +30,13 @@ struct SvcMetrics {
   int nodes = 0;
   double utilization = 0;  // busy node-cycles / (nodes * elapsed)
   std::uint64_t nodeFailures = 0;
+  std::uint64_t predictiveDrains = 0;  // warn-storm drains before fatal
+
+  // Control-plane failover (filled by ServiceHost).
+  std::uint64_t serviceCrashes = 0;
+  std::uint64_t serviceRestarts = 0;
+  std::uint64_t checkpointSaves = 0;
+  std::uint64_t checkpointBytes = 0;  // last image size
 
   // RAS flow.
   std::uint64_t rasInfo = 0;
@@ -56,6 +63,13 @@ struct SvcMetrics {
     j.set("nodes", static_cast<std::int64_t>(nodes));
     j.set("utilization", utilization);
     j.set("node_failures", nodeFailures);
+    j.set("predictive_drains", predictiveDrains);
+    sim::Json fo = sim::Json::object();
+    fo.set("service_crashes", serviceCrashes);
+    fo.set("service_restarts", serviceRestarts);
+    fo.set("checkpoint_saves", checkpointSaves);
+    fo.set("checkpoint_bytes", checkpointBytes);
+    j.set("failover", std::move(fo));
     sim::Json ras = sim::Json::object();
     ras.set("info", rasInfo);
     ras.set("warn", rasWarn);

@@ -109,6 +109,23 @@ std::vector<int> PartitionManager::allocate(int count,
   return out;
 }
 
+PartitionManager::NodeSnapshot PartitionManager::snapshot(int n) const {
+  const NodeInfo& ni = nodes_[idx(n)];
+  return NodeSnapshot{ni.kernel, ni.state,     ni.job,
+                      ni.busySince, ni.busyCycles, ni.failures};
+}
+
+bool PartitionManager::restore(int n, const NodeSnapshot& s) {
+  NodeInfo& ni = nodes_[idx(n)];
+  if (ni.kernel != s.kernel) return false;
+  ni.state = s.state;
+  ni.job = s.job;
+  ni.busySince = s.busySince;
+  ni.busyCycles = s.busyCycles;
+  ni.failures = s.failures;
+  return true;
+}
+
 std::uint64_t PartitionManager::totalBusyCycles() const {
   std::uint64_t sum = 0;
   for (const NodeInfo& ni : nodes_) sum += ni.busyCycles;

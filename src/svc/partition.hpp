@@ -66,6 +66,21 @@ class PartitionManager {
   /// Nodes stay kReady until markRunning().
   std::vector<int> allocate(int count, rt::KernelKind k) const;
 
+  /// Flat per-node state for the service-node checkpoint: everything
+  /// needed to rebuild this manager after a control-plane crash. The
+  /// kernel kind is carried for validation only — a restore into a
+  /// manager whose node runs a different personality is rejected.
+  struct NodeSnapshot {
+    rt::KernelKind kernel = rt::KernelKind::kCnk;
+    NodeLifecycle state = NodeLifecycle::kReset;
+    JobId job = 0;
+    sim::Cycle busySince = 0;
+    std::uint64_t busyCycles = 0;
+    std::uint64_t failures = 0;
+  };
+  NodeSnapshot snapshot(int n) const;
+  bool restore(int n, const NodeSnapshot& s);
+
   /// Cycles node n has spent in kRunning (closed intervals only; call
   /// settle() to fold in an open interval before reading).
   std::uint64_t busyCycles(int n) const { return nodes_[idx(n)].busyCycles; }

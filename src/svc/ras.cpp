@@ -5,7 +5,7 @@ namespace bg::svc {
 RasAggregator::RasAggregator(RasAggregatorConfig cfg) : cfg_(cfg) {}
 
 void RasAggregator::attach(int node, kernel::KernelBase* k) {
-  sources_.push_back(Source{node, k, k->rasNextSeq()});
+  sources_.push_back(Source{node, k, k->rasNextSeq(), 0, {}});
 }
 
 void RasAggregator::injectNodeFailure(int node, std::uint64_t detail) {
@@ -33,6 +33,20 @@ bool RasAggregator::admit(const kernel::RasEvent& e) {
   return true;
 }
 
+void RasAggregator::noteWarn(Source& src, const kernel::RasEvent& e) {
+  if (cfg_.warnDrainThreshold == 0) return;
+  src.warnCycles.push_back(e.cycle);
+  const sim::Cycle floor =
+      e.cycle >= cfg_.warnWindowCycles ? e.cycle - cfg_.warnWindowCycles : 0;
+  while (!src.warnCycles.empty() && src.warnCycles.front() <= floor) {
+    src.warnCycles.pop_front();
+  }
+  if (src.warnCycles.size() >= cfg_.warnDrainThreshold && onWarnStorm_) {
+    src.warnCycles.clear();  // one storm, one report
+    onWarnStorm_(src.node, e.cycle);
+  }
+}
+
 std::size_t RasAggregator::poll(sim::Cycle now) {
   (void)now;
   std::size_t stored = 0;
@@ -40,6 +54,8 @@ std::size_t RasAggregator::poll(sim::Cycle now) {
     const auto& log = src.kernel->rasLog();
     for (const kernel::RasEvent& e : log) {
       if (e.seq < src.nextSeq) continue;
+      // A jump in seq means the ring evicted entries we never saw.
+      src.missed += e.seq - src.nextSeq;
       src.nextSeq = e.seq + 1;
       // Severity/code tallies count every event the service node saw,
       // throttled or not — the stream is what's bounded, not the
@@ -55,6 +71,9 @@ std::size_t RasAggregator::poll(sim::Cycle now) {
           ++streamDropped_;
         }
       }
+      if (e.severity == kernel::RasEvent::Severity::kWarn) {
+        noteWarn(src, e);
+      }
       if (e.severity == kernel::RasEvent::Severity::kFatal && onFatal_) {
         onFatal_(src.node, e);
       }
@@ -66,10 +85,94 @@ std::size_t RasAggregator::poll(sim::Cycle now) {
   return stored;
 }
 
+std::uint32_t RasAggregator::warnsInWindow(int node) const {
+  for (const Source& s : sources_) {
+    if (s.node == node) return static_cast<std::uint32_t>(s.warnCycles.size());
+  }
+  return 0;
+}
+
+void RasAggregator::clearWarns(int node) {
+  for (Source& s : sources_) {
+    if (s.node == node) s.warnCycles.clear();
+  }
+}
+
 std::uint64_t RasAggregator::dropped() const {
   std::uint64_t sum = streamDropped_;
-  for (const Source& s : sources_) sum += s.kernel->rasDropped();
+  for (const Source& s : sources_) sum += s.missed;
   return sum;
+}
+
+void RasAggregator::saveTo(sim::ByteWriter& w) const {
+  w.u64(sources_.size());
+  for (const Source& s : sources_) {
+    w.u32(static_cast<std::uint32_t>(s.node));
+    w.u64(s.nextSeq);
+    w.u64(s.missed);
+    w.u64(s.warnCycles.size());
+    for (sim::Cycle c : s.warnCycles) w.u64(c);
+  }
+  for (const CodeWindow& cw : windows_) {
+    w.u64(cw.windowStart);
+    w.u32(cw.inWindow);
+  }
+  for (std::uint64_t v : bySeverity_) w.u64(v);
+  for (std::uint64_t v : byCode_) w.u64(v);
+  w.u64(accepted_);
+  w.u64(throttled_);
+  w.u64(streamDropped_);
+  w.u64(stream_.size());
+  for (const SvcRasEvent& se : stream_) {
+    w.u32(static_cast<std::uint32_t>(se.node));
+    w.u64(se.event.cycle);
+    w.u8(static_cast<std::uint8_t>(se.event.code));
+    w.u8(static_cast<std::uint8_t>(se.event.severity));
+    w.u32(se.event.pid);
+    w.u32(se.event.tid);
+    w.u64(se.event.detail);
+    w.u64(se.event.seq);
+  }
+}
+
+bool RasAggregator::loadFrom(sim::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != sources_.size()) return false;
+  for (Source& s : sources_) {
+    const int node = static_cast<int>(r.u32());
+    if (node != s.node) return false;
+    s.nextSeq = r.u64();
+    s.missed = r.u64();
+    s.warnCycles.clear();
+    const std::uint64_t wn = r.u64();
+    for (std::uint64_t i = 0; i < wn && r.ok(); ++i) {
+      s.warnCycles.push_back(r.u64());
+    }
+  }
+  for (CodeWindow& cw : windows_) {
+    cw.windowStart = r.u64();
+    cw.inWindow = r.u32();
+  }
+  for (std::uint64_t& v : bySeverity_) v = r.u64();
+  for (std::uint64_t& v : byCode_) v = r.u64();
+  accepted_ = r.u64();
+  throttled_ = r.u64();
+  streamDropped_ = r.u64();
+  stream_.clear();
+  const std::uint64_t sn = r.u64();
+  for (std::uint64_t i = 0; i < sn && r.ok(); ++i) {
+    SvcRasEvent se;
+    se.node = static_cast<int>(r.u32());
+    se.event.cycle = r.u64();
+    se.event.code = static_cast<kernel::RasEvent::Code>(r.u8());
+    se.event.severity = static_cast<kernel::RasEvent::Severity>(r.u8());
+    se.event.pid = r.u32();
+    se.event.tid = r.u32();
+    se.event.detail = r.u64();
+    se.event.seq = r.u64();
+    stream_.push_back(se);
+  }
+  return r.ok();
 }
 
 }  // namespace bg::svc

@@ -4,6 +4,15 @@
 // and reacts to fatal events (node loss). Fault-injection goes through
 // the same path, so tests can kill nodes deterministically and watch
 // the identical plumbing a real machine check would take.
+//
+// The aggregator also watches per-node kWarn rates (recoverable
+// machine checks, e.g. L1 parity scrubs): a node whose warn count
+// crosses a sliding-window threshold is reported to the warn-storm
+// handler so the service node can drain it predictively, before the
+// fault goes fatal. Its cursors and window state serialize into the
+// service-node checkpoint so a restarted control plane resumes
+// polling exactly where the crashed one stopped — no event is
+// double-counted or silently skipped.
 #pragma once
 
 #include <array>
@@ -13,6 +22,7 @@
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "sim/bytes.hpp"
 #include "sim/types.hpp"
 
 namespace bg::svc {
@@ -32,6 +42,11 @@ struct RasAggregatorConfig {
   std::uint32_t maxPerCodePerWindow = 16;
   /// Stream bound; oldest entries drop (counted) once exceeded.
   std::size_t streamCapacity = 4096;
+  /// Predictive-drain trigger: a node logging >= warnDrainThreshold
+  /// kWarn events within warnWindowCycles is reported to the warn
+  /// handler. 0 disables the watch.
+  sim::Cycle warnWindowCycles = 2'000'000;
+  std::uint32_t warnDrainThreshold = 0;
 };
 
 class RasAggregator {
@@ -50,15 +65,30 @@ class RasAggregator {
   using FatalHandler = std::function<void(int node, const kernel::RasEvent&)>;
   void setFatalHandler(FatalHandler f) { onFatal_ = std::move(f); }
 
+  /// Called during poll() when a node's kWarn count crosses the
+  /// sliding-window threshold. The node's window is cleared before the
+  /// call, so one storm fires the handler once.
+  using WarnStormHandler = std::function<void(int node, sim::Cycle cycle)>;
+  void setWarnStormHandler(WarnStormHandler f) { onWarnStorm_ = std::move(f); }
+
   /// Fault injection: report a fatal kNodeFailure against `node`'s
   /// kernel; the next poll() routes it like any other fatal event.
   void injectNodeFailure(int node, std::uint64_t detail);
 
+  /// kWarn events from `node` inside the sliding window ending at the
+  /// node's most recent warn.
+  std::uint32_t warnsInWindow(int node) const;
+  /// Forget a node's warn history (after a predictive drain + scrub
+  /// the node starts clean).
+  void clearWarns(int node);
+
   const std::deque<SvcRasEvent>& stream() const { return stream_; }
   std::uint64_t accepted() const { return accepted_; }
   std::uint64_t throttled() const { return throttled_; }
-  /// Events lost before the service node saw them (kernel ring
-  /// overflow) plus stream-bound drops on our side.
+  /// Events lost before the service node saw them (seq gaps the
+  /// cursor stepped over after a kernel-ring overflow) plus
+  /// stream-bound drops on our side. Entries the ring evicted AFTER we
+  /// consumed them are not losses and are not counted.
   std::uint64_t dropped() const;
   std::uint64_t countBySeverity(kernel::RasEvent::Severity s) const {
     return bySeverity_[static_cast<std::size_t>(s)];
@@ -67,11 +97,22 @@ class RasAggregator {
     return byCode_[static_cast<std::size_t>(c)];
   }
 
+  /// Serialize cursors, throttle windows, warn windows, and tallies
+  /// (not the kernels themselves) into a checkpoint image.
+  void saveTo(sim::ByteWriter& w) const;
+  /// Restore from a checkpoint. Sources must already be attach()ed in
+  /// the same order; their cursors are overwritten with the persisted
+  /// values so polling resumes where the checkpointed instance
+  /// stopped. Returns false on a malformed image.
+  bool loadFrom(sim::ByteReader& r);
+
  private:
   struct Source {
     int node = 0;
     kernel::KernelBase* kernel = nullptr;
     std::uint64_t nextSeq = 0;  // first sequence number not yet consumed
+    std::uint64_t missed = 0;   // seqs evicted before we consumed them
+    std::deque<sim::Cycle> warnCycles;  // recent kWarn timestamps
   };
   struct CodeWindow {
     sim::Cycle windowStart = 0;
@@ -82,6 +123,7 @@ class RasAggregator {
   static constexpr std::size_t kNumSeverities = 4;
 
   bool admit(const kernel::RasEvent& e);
+  void noteWarn(Source& src, const kernel::RasEvent& e);
 
   RasAggregatorConfig cfg_;
   std::vector<Source> sources_;
@@ -93,6 +135,7 @@ class RasAggregator {
   std::uint64_t throttled_ = 0;
   std::uint64_t streamDropped_ = 0;
   FatalHandler onFatal_;
+  WarnStormHandler onWarnStorm_;
 };
 
 }  // namespace bg::svc

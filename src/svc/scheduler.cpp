@@ -49,12 +49,21 @@ std::vector<std::size_t> BackfillPolicy::select(const SchedContext& ctx) {
   if (head >= ctx.queue.size()) return out;
 
   // Reservation for the blocked head: walk running jobs of its kind in
-  // estimated-end order until enough nodes will have come back.
+  // estimated-end order until enough nodes will have come back. The
+  // FIFO prefix just selected is committed this round, so its jobs
+  // count as running too — ignoring them would overstate the
+  // reservation and admit backfills that delay the head.
   const JobRecord* blocked = ctx.queue[head];
   const std::size_t hk = kindIdx(blocked->desc.kernel);
   std::vector<RunningJobInfo> sameKind;
   for (const RunningJobInfo& r : ctx.running) {
     if (kindIdx(r.kernel) == hk) sameKind.push_back(r);
+  }
+  for (std::size_t i : out) {
+    const JobRecord* j = ctx.queue[i];
+    if (kindIdx(j->desc.kernel) != hk) continue;
+    sameKind.push_back(RunningJobInfo{j->id, j->desc.kernel, j->desc.nodes,
+                                      ctx.now + j->desc.estCycles});
   }
   std::sort(sameKind.begin(), sameKind.end(),
             [](const RunningJobInfo& a, const RunningJobInfo& b) {

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "svc/failover.hpp"
+
 namespace bg::svc {
 
-ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg)
+ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
+                         CheckpointStore* store)
     : cluster_(cluster),
       cfg_(cfg),
       parts_([&] {
@@ -16,15 +19,36 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg)
         return kinds;
       }()),
       ras_(cfg.ras),
-      policy_(makePolicy(cfg.policy)) {
+      policy_(makePolicy(cfg.policy)),
+      store_(store),
+      alive_(std::make_shared<bool>(true)),
+      nodeOps_(static_cast<std::size_t>(parts_.size())) {
   for (int n = 0; n < parts_.size(); ++n) {
     ras_.attach(n, &cluster_.kernelOn(n));
   }
   ras_.setFatalHandler(
       [this](int node, const kernel::RasEvent& e) { onNodeFatal(node, e); });
+  ras_.setWarnStormHandler(
+      [this](int node, sim::Cycle cycle) { onWarnStorm(node, cycle); });
+}
+
+ServiceNode::~ServiceNode() = default;
+
+std::function<void()> ServiceNode::guarded(std::function<void()> fn) {
+  return [alive = std::weak_ptr<bool>(alive_), fn = std::move(fn)] {
+    if (alive.expired()) return;  // instance crashed; event dies with it
+    fn();
+  };
 }
 
 JobId ServiceNode::submit(JobDesc desc) {
+  if (store_ != nullptr) {
+    // The executable "lives on the shared filesystem": checkpoints
+    // reference it by name and a restarted control plane re-resolves
+    // it from the catalog.
+    store_->registerImage(desc.exe);
+    for (const auto& lib : desc.libs) store_->registerImage(lib);
+  }
   JobRecord jr;
   jr.id = nextId_++;
   jr.desc = std::move(desc);
@@ -33,8 +57,10 @@ JobId ServiceNode::submit(JobDesc desc) {
   note("submit", jr.id, jr.submitCycle);
   queue_.push_back(jr.id);
   jobs_.push_back(std::move(jr));
+  const JobId id = jobs_.back().id;
   if (started_) schedulePump();
-  return jobs_.back().id;
+  checkpointWriteThrough();
+  return id;
 }
 
 void ServiceNode::start() {
@@ -47,27 +73,39 @@ void ServiceNode::start() {
       continue;
     }
     parts_.markBooting(n);
-    k.boot([this, n] {
-      parts_.markReady(n);
-      note("node_ready", 0, engine().now(), {n});
-      schedulePump();
-    });
+    bootNode(n);
   }
   schedulePump();
 }
 
+void ServiceNode::bootNode(int n) {
+  cluster_.kernelOn(n).boot(guarded([this, n] {
+    parts_.markReady(n);
+    note("node_ready", 0, engine().now(), {n});
+    schedulePump();
+    checkpointWriteThrough();
+  }));
+}
+
 void ServiceNode::schedulePump() {
+  schedulePumpAt(engine().now() + cfg_.pollIntervalCycles);
+}
+
+void ServiceNode::schedulePumpAt(sim::Cycle due) {
   if (pumpScheduled_) return;
   pumpScheduled_ = true;
-  engine().schedule(cfg_.pollIntervalCycles, [this] { pump(); });
+  pumpDue_ = due;
+  engine().scheduleAt(due, guarded([this] { pump(); }));
 }
 
 void ServiceNode::pump() {
   pumpScheduled_ = false;
-  ras_.poll(engine().now());  // fatal handler may drain nodes here
+  pumpDue_ = 0;
+  ras_.poll(engine().now());  // fatal/warn handlers may drain nodes here
   pollCompletions();
   trySchedule();
   if (!idle() || anyNodeInFlight()) schedulePump();
+  checkpointAfterPump();
 }
 
 void ServiceNode::pollCompletions() {
@@ -123,7 +161,7 @@ bool ServiceNode::launch(JobRecord& jr, const std::vector<int>& nodes) {
   const sim::Cycle now = engine().now();
   jr.pids.clear();
   std::vector<int> loaded;
-  bool ok = true;
+  bool ok = jr.desc.exe != nullptr;  // unresolvable image = rejection
   for (std::size_t i = 0; i < nodes.size() && ok; ++i) {
     const int n = nodes[i];
     kernel::JobSpec spec;
@@ -187,6 +225,72 @@ void ServiceNode::finishJob(JobRecord& jr, bool ok, std::int64_t status) {
       runningIds_.end());
 }
 
+void ServiceNode::requeueOrFail(JobRecord& jr, sim::Cycle now) {
+  jr.nodesHeld.clear();
+  jr.pids.clear();
+  if (jr.attempts <= jr.desc.maxRetries) {
+    jr.state = JobState::kQueued;
+    queue_.push_back(jr.id);
+    ++retries_;
+    note("retry", jr.id, now);
+  } else {
+    jr.state = JobState::kFailed;
+    jr.endCycle = now;
+    jr.exitStatus = -1;
+    lastEnd_ = now;
+    note("fail", jr.id, now);
+  }
+}
+
+void ServiceNode::drainHeldNodes(JobRecord& jr, sim::Cycle now,
+                                 int skipNode) {
+  // Drain the job's partition: kill, wait out the grace period, scrub,
+  // return to service.
+  for (int h : jr.nodesHeld) {
+    if (h == skipNode) continue;
+    if (parts_.state(h) != NodeLifecycle::kRunning) continue;
+    killUserThreadsOn(h);
+    parts_.beginDrain(h, now);
+    scheduleDrainDone(h, now + cfg_.drainCycles);
+  }
+}
+
+void ServiceNode::scheduleDrainDone(int node, sim::Cycle due) {
+  nodeOps_[static_cast<std::size_t>(node)] =
+      PendingNodeOp{PendingNodeOp::Kind::kDrainDone, due};
+  engine().scheduleAt(due, guarded([this, node] { drainDone(node); }));
+}
+
+void ServiceNode::scheduleRepairDone(int node, sim::Cycle due) {
+  nodeOps_[static_cast<std::size_t>(node)] =
+      PendingNodeOp{PendingNodeOp::Kind::kRepairDone, due};
+  engine().scheduleAt(due, guarded([this, node] { repairDone(node); }));
+}
+
+void ServiceNode::drainDone(int node) {
+  PendingNodeOp& op = nodeOps_[static_cast<std::size_t>(node)];
+  if (op.kind == PendingNodeOp::Kind::kDrainDone) op = PendingNodeOp{};
+  if (parts_.state(node) != NodeLifecycle::kDraining) return;
+  scrubNode(node);
+  parts_.release(node, engine().now());
+  note("node_drained", 0, engine().now(), {node});
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::repairDone(int node) {
+  PendingNodeOp& op = nodeOps_[static_cast<std::size_t>(node)];
+  if (op.kind == PendingNodeOp::Kind::kRepairDone) op = PendingNodeOp{};
+  if (parts_.state(node) != NodeLifecycle::kDown) return;
+  scrubNode(node);
+  cluster_.machine().resetNode(node);
+  parts_.markReset(node);
+  parts_.markBooting(node);
+  note("node_reboot", 0, engine().now(), {node});
+  bootNode(node);
+  checkpointWriteThrough();
+}
+
 void ServiceNode::onNodeFatal(int node, const kernel::RasEvent& e) {
   const NodeLifecycle st = parts_.state(node);
   if (st == NodeLifecycle::kDown || st == NodeLifecycle::kDraining ||
@@ -201,51 +305,41 @@ void ServiceNode::onNodeFatal(int node, const kernel::RasEvent& e) {
 
   killUserThreadsOn(node);
   parts_.markDown(node, now);
-  engine().schedule(cfg_.repairCycles, [this, node] {
-    scrubNode(node);
-    cluster_.machine().resetNode(node);
-    parts_.markReset(node);
-    parts_.markBooting(node);
-    note("node_reboot", 0, engine().now(), {node});
-    cluster_.kernelOn(node).boot([this, node] {
-      parts_.markReady(node);
-      note("node_ready", 0, engine().now(), {node});
-      schedulePump();
-    });
-  });
+  scheduleRepairDone(node, now + cfg_.repairCycles);
 
   if (victim == 0) return;
   JobRecord* jr = find(victim);
   runningIds_.erase(
       std::remove(runningIds_.begin(), runningIds_.end(), victim),
       runningIds_.end());
-  // Drain the rest of the job's partition: kill, wait out the grace
-  // period, scrub, return to service.
-  for (int h : jr->nodesHeld) {
-    if (h == node) continue;
-    killUserThreadsOn(h);
-    parts_.beginDrain(h, now);
-    engine().schedule(cfg_.drainCycles, [this, h] {
-      if (parts_.state(h) != NodeLifecycle::kDraining) return;
-      scrubNode(h);
-      parts_.release(h, engine().now());
-      note("node_drained", 0, engine().now(), {h});
-      schedulePump();
-    });
+  drainHeldNodes(*jr, now, node);
+  requeueOrFail(*jr, now);
+}
+
+void ServiceNode::onWarnStorm(int node, sim::Cycle cycle) {
+  (void)cycle;
+  const NodeLifecycle st = parts_.state(node);
+  if (st != NodeLifecycle::kRunning && st != NodeLifecycle::kReady) {
+    return;  // mid-boot / already draining / already down
   }
-  jr->nodesHeld.clear();
-  jr->pids.clear();
-  if (jr->attempts <= jr->desc.maxRetries) {
-    jr->state = JobState::kQueued;
-    queue_.push_back(jr->id);
-    ++retries_;
-    note("retry", jr->id, now);
+  const sim::Cycle now = engine().now();
+  const JobId victim = parts_.jobOn(node);
+  ++predictiveDrains_;
+  note("node_predrain", victim, now, {node});
+  ras_.clearWarns(node);
+  if (victim != 0) {
+    // Retire the sick node before its warns go fatal: the job comes
+    // off through the same bounded-retry path a node loss takes, but
+    // the node itself only needs a drain + scrub, not a repair.
+    JobRecord* jr = find(victim);
+    runningIds_.erase(
+        std::remove(runningIds_.begin(), runningIds_.end(), victim),
+        runningIds_.end());
+    drainHeldNodes(*jr, now, -1);
+    requeueOrFail(*jr, now);
   } else {
-    jr->state = JobState::kFailed;
-    jr->endCycle = now;
-    jr->exitStatus = -1;
-    lastEnd_ = now;
-    note("fail", jr->id, now);
+    parts_.beginDrain(node, now);
+    scheduleDrainDone(node, now + cfg_.drainCycles);
   }
 }
 
@@ -316,6 +410,224 @@ bool ServiceNode::runUntilDrained(std::uint64_t maxEvents) {
       [this] { return idle() && !anyNodeInFlight(); }, maxEvents);
 }
 
+// --- checkpoint/restart -------------------------------------------------
+
+SvcCheckpoint ServiceNode::buildCheckpoint() {
+  SvcCheckpoint ck;
+  ck.takenAt = engine().now();
+  ck.scheduleHash = hash_.digest();
+  ck.nextId = nextId_;
+  ck.retries = retries_;
+  ck.failures = failures_;
+  ck.predictiveDrains = predictiveDrains_;
+  ck.firstSubmit = firstSubmit_;
+  ck.lastEnd = lastEnd_;
+  ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
+  for (const JobRecord& jr : jobs_) {
+    SvcCheckpoint::JobEntry e;
+    e.rec = jr;
+    if (jr.desc.exe) e.exeName = jr.desc.exe->name();
+    for (const auto& lib : jr.desc.libs) {
+      if (lib) e.libNames.push_back(lib->name());
+    }
+    ck.jobs.push_back(std::move(e));
+  }
+  ck.queue = queue_;
+  ck.running = runningIds_;
+  for (int n = 0; n < parts_.size(); ++n) {
+    ck.nodes.push_back(parts_.snapshot(n));
+    ck.ops.push_back(nodeOps_[static_cast<std::size_t>(n)]);
+  }
+  ck.timeline = timeline_;
+  return ck;
+}
+
+bool ServiceNode::saveCheckpoint() {
+  if (store_ == nullptr) return false;
+  sim::ByteWriter w;
+  buildCheckpoint().encode(w);
+  ras_.saveTo(w);
+  return store_->save(std::move(w).take(), engine().now());
+}
+
+bool ServiceNode::checkpointNow() { return saveCheckpoint(); }
+
+void ServiceNode::checkpointAfterPump() {
+  if (store_ == nullptr || cfg_.checkpointEveryPumps == 0) return;
+  if (++pumpsSinceCkpt_ >= cfg_.checkpointEveryPumps) {
+    saveCheckpoint();
+    pumpsSinceCkpt_ = 0;
+  }
+}
+
+void ServiceNode::checkpointWriteThrough() {
+  if (store_ != nullptr && cfg_.checkpointEveryPumps == 1) saveCheckpoint();
+}
+
+std::unique_ptr<ServiceNode> ServiceNode::restartFrom(rt::Cluster& cluster,
+                                                      ServiceNodeConfig cfg,
+                                                      CheckpointStore& store) {
+  const auto image = store.load();
+  if (!image) return nullptr;
+  sim::ByteReader r(*image);
+  auto sn = std::make_unique<ServiceNode>(cluster, cfg, &store);
+  if (!sn->loadFrom(r, store)) return nullptr;
+  return sn;
+}
+
+bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
+  SvcCheckpoint ck;
+  if (!ck.decode(r)) return false;
+  if (static_cast<int>(ck.nodes.size()) != parts_.size()) return false;
+  if (!ras_.loadFrom(r)) return false;
+  for (int n = 0; n < parts_.size(); ++n) {
+    if (!parts_.restore(n, ck.nodes[static_cast<std::size_t>(n)])) {
+      return false;
+    }
+  }
+  for (SvcCheckpoint::JobEntry& e : ck.jobs) {
+    JobRecord jr = std::move(e.rec);
+    jr.desc.exe = e.exeName.empty() ? nullptr : store.image(e.exeName);
+    jr.desc.libs.clear();
+    for (const std::string& ln : e.libNames) {
+      if (auto lib = store.image(ln)) jr.desc.libs.push_back(std::move(lib));
+    }
+    jobs_.push_back(std::move(jr));
+  }
+  queue_ = ck.queue;
+  runningIds_ = ck.running;
+  nodeOps_ = ck.ops;
+  nextId_ = ck.nextId;
+  retries_ = ck.retries;
+  failures_ = ck.failures;
+  predictiveDrains_ = ck.predictiveDrains;
+  firstSubmit_ = ck.firstSubmit;
+  lastEnd_ = ck.lastEnd;
+  hash_.restore(ck.scheduleHash);
+  timeline_ = std::move(ck.timeline);
+  started_ = true;
+
+  const sim::Cycle now = engine().now();
+  {
+    // Timeline-only marker (not hash-mixed: a transparent restart must
+    // leave the schedule digest identical to an uninterrupted run).
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "[%12llu] %-12s job=0    nodes=",
+                  static_cast<unsigned long long>(now), "svc_restart");
+    timeline_.push_back(head);
+  }
+
+  // Reconcile believed-idle nodes against kernel reality: work the
+  // checkpoint never saw (launched after a stale checkpoint) is purged
+  // so those nodes really are allocatable.
+  for (int n = 0; n < parts_.size(); ++n) {
+    if (parts_.state(n) != NodeLifecycle::kReady) continue;
+    bool zombies = false;
+    for (const auto& p : cluster_.kernelOn(n).processes()) {
+      if (!p->kernelResident && !p->exited) zombies = true;
+    }
+    if (zombies) {
+      killUserThreadsOn(n);
+      scrubNode(n);
+    }
+  }
+
+  // Verify every recorded-running job's (node, pid) leases. A lease
+  // that no longer checks out (stale checkpoint, node rebooted while
+  // the control plane was down) sends the job back through the
+  // bounded-retry path.
+  const std::vector<JobId> running = runningIds_;
+  for (JobId id : running) {
+    JobRecord* jr = find(id);
+    bool ok = jr != nullptr && jr->state == JobState::kRunning &&
+              !jr->pids.empty();
+    if (ok) {
+      for (const auto& [node, pid] : jr->pids) {
+        if (parts_.state(node) != NodeLifecycle::kRunning ||
+            parts_.jobOn(node) != id ||
+            cluster_.kernelOn(node).processByPid(pid) == nullptr) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) continue;
+    runningIds_.erase(
+        std::remove(runningIds_.begin(), runningIds_.end(), id),
+        runningIds_.end());
+    if (jr == nullptr) continue;
+    drainHeldNodes(*jr, now, -1);
+    requeueOrFail(*jr, now);
+  }
+
+  // Re-arm persisted drain/repair deadlines (clamped to now — a long
+  // outage fires them immediately on restart).
+  for (int n = 0; n < parts_.size(); ++n) {
+    const PendingNodeOp op = nodeOps_[static_cast<std::size_t>(n)];
+    const sim::Cycle due = std::max(op.due, now);
+    switch (op.kind) {
+      case PendingNodeOp::Kind::kDrainDone:
+        if (parts_.state(n) == NodeLifecycle::kDraining) {
+          scheduleDrainDone(n, due);
+        } else {
+          nodeOps_[static_cast<std::size_t>(n)] = PendingNodeOp{};
+        }
+        break;
+      case PendingNodeOp::Kind::kRepairDone:
+        if (parts_.state(n) == NodeLifecycle::kDown) {
+          scheduleRepairDone(n, due);
+        } else {
+          nodeOps_[static_cast<std::size_t>(n)] = PendingNodeOp{};
+        }
+        break;
+      case PendingNodeOp::Kind::kNone:
+        break;
+    }
+  }
+
+  // Boots that were in flight lost their completion callbacks with the
+  // crashed instance; watch them to readiness instead.
+  for (int n = 0; n < parts_.size(); ++n) {
+    if (parts_.state(n) == NodeLifecycle::kBooting) watchOrphanBoot(n);
+  }
+
+  // Resume the control loop on the checkpointed pump grid: an outage
+  // longer than one poll interval skips forward whole intervals, so
+  // post-restart pumps land on exactly the cycles the dead instance's
+  // would have. That keeps a restart schedule-invisible whenever no
+  // decision fell inside the outage window.
+  if (ck.pumpDue != 0) {
+    sim::Cycle due = ck.pumpDue;
+    if (due < now) {
+      const sim::Cycle behind = now - due;
+      const sim::Cycle k =
+          (behind + cfg_.pollIntervalCycles - 1) / cfg_.pollIntervalCycles;
+      due += k * cfg_.pollIntervalCycles;
+    }
+    schedulePumpAt(due);
+  } else {
+    schedulePump();
+  }
+  return true;
+}
+
+void ServiceNode::watchOrphanBoot(int node) {
+  engine().schedule(cfg_.pollIntervalCycles, guarded([this, node] {
+    if (parts_.state(node) != NodeLifecycle::kBooting) return;
+    if (!cluster_.kernelOn(node).booted()) {
+      watchOrphanBoot(node);
+      return;
+    }
+    parts_.markReady(node);
+    note("node_ready", 0, engine().now(), {node});
+    schedulePump();
+    checkpointWriteThrough();
+  }));
+}
+
+// --- metrics ------------------------------------------------------------
+
 SvcMetrics ServiceNode::metrics() {
   const sim::Cycle now = engine().now();
   parts_.settle(now);
@@ -352,6 +664,7 @@ SvcMetrics ServiceNode::metrics() {
                      static_cast<double>(m.nodes));
   }
   m.nodeFailures = failures_;
+  m.predictiveDrains = predictiveDrains_;
   using Sev = kernel::RasEvent::Severity;
   m.rasInfo = ras_.countBySeverity(Sev::kInfo);
   m.rasWarn = ras_.countBySeverity(Sev::kWarn);
@@ -364,10 +677,10 @@ SvcMetrics ServiceNode::metrics() {
 }
 
 void ServiceNode::injectNodeFailure(int node, sim::Cycle atCycle) {
-  engine().scheduleAt(atCycle, [this, node] {
+  engine().scheduleAt(atCycle, guarded([this, node] {
     ras_.injectNodeFailure(node, 0xDEADBEEF);
     schedulePump();
-  });
+  }));
 }
 
 }  // namespace bg::svc

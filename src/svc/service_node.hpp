@@ -7,11 +7,22 @@
 // rt::Cluster: a partition manager tracks per-node lifecycle, a
 // pluggable scheduler (FIFO / EASY backfill) drains a job queue onto
 // free node blocks, and a RAS aggregator fans the per-kernel logs into
-// one stream whose fatal events drive drain/retry/reboot.
+// one stream whose fatal events drive drain/retry/reboot and whose
+// kWarn storms drive predictive drain (retire a sick node before it
+// goes fatal).
+//
+// The control plane itself is crash-safe: with a CheckpointStore
+// attached it serializes its whole state (queue, running-job leases,
+// node lifecycles with pending deadlines, RAS cursors, schedule hash)
+// into a persistent-memory region, and restartFrom() rebuilds a
+// service node mid-stream from that image. Every event the node
+// schedules is epoch-guarded, so events belonging to a crashed
+// instance die with it instead of firing into freed memory.
 //
 // Everything runs as events on the cluster's deterministic engine, so
-// a whole job stream — including injected node failures — replays
-// cycle-exactly from a seed; scheduleHash() is the witness.
+// a whole job stream — including injected node failures and injected
+// control-plane crashes — replays cycle-exactly from a seed;
+// scheduleHash() is the witness.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,7 @@
 
 #include "runtime/app.hpp"
 #include "sim/hash.hpp"
+#include "svc/checkpoint.hpp"
 #include "svc/job.hpp"
 #include "svc/metrics.hpp"
 #include "svc/partition.hpp"
@@ -30,6 +42,8 @@
 #include "svc/scheduler.hpp"
 
 namespace bg::svc {
+
+class CheckpointStore;
 
 struct ServiceNodeConfig {
   SchedPolicyKind policy = SchedPolicyKind::kBackfill;
@@ -43,12 +57,30 @@ struct ServiceNodeConfig {
   /// Repair time for a node lost to a fatal RAS event, after which it
   /// is reset and rebooted.
   sim::Cycle repairCycles = 2'000'000;
+  /// Checkpoint cadence when a CheckpointStore is attached: 1 writes
+  /// through after every state-mutating event (crash-transparent
+  /// restart); N > 1 checkpoints every Nth control-loop pump only
+  /// (cheaper, restart may requeue work done since); 0 disables.
+  std::uint32_t checkpointEveryPumps = 1;
   RasAggregatorConfig ras;
 };
 
 class ServiceNode {
  public:
-  ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg = {});
+  explicit ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg = {},
+                       CheckpointStore* store = nullptr);
+  ~ServiceNode();
+
+  /// Rebuild a control plane mid-stream from the store's latest
+  /// checkpoint: jobs, queue order, node lifecycles, RAS cursors and
+  /// the schedule hash all resume; pending drain/repair deadlines are
+  /// re-armed at their original cycles; running jobs whose (node, pid)
+  /// leases no longer verify against the kernels are requeued through
+  /// the bounded-retry path. Returns nullptr when no valid checkpoint
+  /// exists (caller cold-starts instead).
+  static std::unique_ptr<ServiceNode> restartFrom(rt::Cluster& cluster,
+                                                  ServiceNodeConfig cfg,
+                                                  CheckpointStore& store);
 
   /// Enqueue a job; scheduling happens on the control loop. Returns
   /// the job id (ids start at 1).
@@ -76,16 +108,30 @@ class ServiceNode {
   /// maxRetries), and repairs + reboots the node.
   void injectNodeFailure(int node, sim::Cycle atCycle);
 
+  /// Nudge the control loop (schedules a pump if one is not already
+  /// pending). External fault injectors call this after logging RAS
+  /// events directly against kernels.
+  void poke() {
+    if (started_) schedulePump();
+  }
+
+  /// Force a checkpoint now (regardless of cadence). False when no
+  /// store is attached or the save failed.
+  bool checkpointNow();
+
   const JobRecord* job(JobId id) const;
   const std::vector<JobRecord>& jobs() const { return jobs_; }
   PartitionManager& partitions() { return parts_; }
   RasAggregator& ras() { return ras_; }
   const SchedulerPolicy& policy() const { return *policy_; }
+  std::uint64_t predictiveDrains() const { return predictiveDrains_; }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
   /// complete / fail / retry / node transitions) with its cycle — two
-  /// runs scheduled identically iff the hashes match.
+  /// runs scheduled identically iff the hashes match. Restored across
+  /// restartFrom(), so a crash-interrupted run keeps one continuous
+  /// digest.
   std::uint64_t scheduleHash() const { return hash_.digest(); }
   /// Human-readable event log, one line per decision (jobstream_tour).
   const std::vector<std::string>& timeline() const { return timeline_; }
@@ -93,13 +139,32 @@ class ServiceNode {
  private:
   sim::Engine& engine() { return cluster_.engine(); }
 
+  /// Wrap an event so it dies with this instance: a crashed service
+  /// node's pending pumps/timers must not fire into the replacement.
+  std::function<void()> guarded(std::function<void()> fn);
+
   void schedulePump();
+  void schedulePumpAt(sim::Cycle due);
   void pump();
   void pollCompletions();
   void trySchedule();
   bool launch(JobRecord& jr, const std::vector<int>& nodes);
   void finishJob(JobRecord& jr, bool ok, std::int64_t status);
   void onNodeFatal(int node, const kernel::RasEvent& e);
+  void onWarnStorm(int node, sim::Cycle cycle);
+  /// Take the job off a lost/draining partition and requeue it (or
+  /// fail it once retries are exhausted). Shared by the fatal path,
+  /// predictive drain, and restart reconciliation.
+  void requeueOrFail(JobRecord& jr, sim::Cycle now);
+  void drainHeldNodes(JobRecord& jr, sim::Cycle now, int skipNode);
+  void scheduleDrainDone(int node, sim::Cycle due);
+  void scheduleRepairDone(int node, sim::Cycle due);
+  void drainDone(int node);
+  void repairDone(int node);
+  void bootNode(int node);
+  /// Restart-only: poll a node whose boot was in flight when the
+  /// previous instance crashed (its completion callback died).
+  void watchOrphanBoot(int node);
   void killUserThreadsOn(int node);
   void scrubNode(int node);  // post-drain kernel cleanup (CNK unload)
   void note(const char* what, JobId id, sim::Cycle cycle,
@@ -108,21 +173,36 @@ class ServiceNode {
   bool idle() const;
   bool anyNodeInFlight() const;
 
+  SvcCheckpoint buildCheckpoint();
+  bool saveCheckpoint();
+  /// Called after every pump per the cadence config.
+  void checkpointAfterPump();
+  /// Called after timer events (drain/repair/boot/submit) when running
+  /// write-through (cadence 1), so no decision is ever lost.
+  void checkpointWriteThrough();
+  bool loadFrom(sim::ByteReader& r, CheckpointStore& store);
+
   rt::Cluster& cluster_;
   ServiceNodeConfig cfg_;
   PartitionManager parts_;
   RasAggregator ras_;
   std::unique_ptr<SchedulerPolicy> policy_;
+  CheckpointStore* store_ = nullptr;
+  std::shared_ptr<bool> alive_;  // epoch token for guarded()
   std::vector<JobRecord> jobs_;   // indexed by id - 1
   std::deque<JobId> queue_;       // FIFO order
   std::vector<JobId> runningIds_;
+  std::vector<PendingNodeOp> nodeOps_;  // armed drain/repair deadlines
   JobId nextId_ = 1;
   bool started_ = false;
   bool pumpScheduled_ = false;
+  sim::Cycle pumpDue_ = 0;
+  std::uint32_t pumpsSinceCkpt_ = 0;
   sim::Fnv1a hash_;
   std::vector<std::string> timeline_;
   std::uint64_t retries_ = 0;
   std::uint64_t failures_ = 0;  // node failures handled
+  std::uint64_t predictiveDrains_ = 0;
   sim::Cycle firstSubmit_ = 0;
   sim::Cycle lastEnd_ = 0;
 };

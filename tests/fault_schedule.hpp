@@ -1,0 +1,120 @@
+// Deterministic fault-injection harness for the service-node tests.
+//
+// A FaultSchedule is a plain list of (cycle, fault) pairs built either
+// by hand or from a seed, then armed once against a cluster + service
+// host. Every fault fires as an engine event at an absolute cycle, so
+// the whole failure scenario replays cycle-exactly from the seed:
+//
+//  - kSvcCrash:  fail-stop the control plane, restart it later. Driven
+//    through ServiceHost so the outage survives the instance it kills.
+//  - kNodeDeath: log a fatal kNodeFailure RAS event directly on the
+//    node's kernel. Deliberately NOT routed through the service node:
+//    the kernel's RAS ring outlives control-plane crashes, exactly like
+//    hardware faults keep happening while the control system is down.
+//  - kWarnStorm: burst of kWarn machine-checks on one node's kernel —
+//    the signature the predictive-drain window is tuned to catch.
+//
+// The harness only pokes the control loop when one is alive; faults
+// landing during an outage sit in the kernel logs until the restarted
+// service node's RAS cursors sweep them up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "sim/rng.hpp"
+#include "svc/failover.hpp"
+
+namespace bg::testing {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kSvcCrash, kNodeDeath, kWarnStorm };
+  Kind kind = Kind::kNodeDeath;
+  sim::Cycle atCycle = 0;
+  int node = -1;              // kNodeDeath / kWarnStorm target
+  sim::Cycle downCycles = 0;  // kSvcCrash outage length
+  int count = 0;              // kWarnStorm: warns in the burst
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule& svcCrash(sim::Cycle at, sim::Cycle down) {
+    events_.push_back({FaultEvent::Kind::kSvcCrash, at, -1, down, 0});
+    return *this;
+  }
+  FaultSchedule& nodeDeath(int node, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kNodeDeath, at, node, 0, 0});
+    return *this;
+  }
+  FaultSchedule& warnStorm(int node, sim::Cycle at, int count) {
+    events_.push_back({FaultEvent::Kind::kWarnStorm, at, node, 0, count});
+    return *this;
+  }
+
+  /// Seeded mixed schedule over [0, horizon): `crashes` control-plane
+  /// outages, `deaths` node losses, `storms` warn bursts, spread over
+  /// the machine by an Rng stream independent of the job stream's.
+  static FaultSchedule random(std::uint64_t seed, int nodes,
+                              sim::Cycle horizon, int crashes, int deaths,
+                              int storms) {
+    sim::Rng rng(seed, "fault-schedule");
+    FaultSchedule fs;
+    for (int i = 0; i < crashes; ++i) {
+      const sim::Cycle at = 1 + rng.nextBelow(horizon);
+      fs.svcCrash(at, 50'000 + rng.nextBelow(400'000));
+    }
+    for (int i = 0; i < deaths; ++i) {
+      fs.nodeDeath(static_cast<int>(rng.nextBelow(
+                       static_cast<std::uint64_t>(nodes))),
+                   1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < storms; ++i) {
+      fs.warnStorm(static_cast<int>(rng.nextBelow(
+                       static_cast<std::uint64_t>(nodes))),
+                   1 + rng.nextBelow(horizon),
+                   6 + static_cast<int>(rng.nextBelow(6)));
+    }
+    return fs;
+  }
+
+  /// Schedule every fault on the cluster's engine. Call once, before
+  /// driving the engine. `host` must outlive the run.
+  void arm(rt::Cluster& cluster, svc::ServiceHost& host) const {
+    sim::Engine& eng = cluster.engine();
+    for (const FaultEvent& f : events_) {
+      switch (f.kind) {
+        case FaultEvent::Kind::kSvcCrash:
+          host.scheduleCrashRestart(f.atCycle, f.downCycles);
+          break;
+        case FaultEvent::Kind::kNodeDeath:
+          eng.scheduleAt(f.atCycle, [&cluster, &host, node = f.node] {
+            cluster.kernelOn(node).logRas(
+                kernel::RasEvent::Code::kNodeFailure,
+                kernel::RasEvent::Severity::kFatal, 0, 0, 0xFA11);
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kWarnStorm:
+          eng.scheduleAt(f.atCycle,
+                         [&cluster, &host, node = f.node, n = f.count] {
+            for (int i = 0; i < n; ++i) {
+              cluster.kernelOn(node).logRas(
+                  kernel::RasEvent::Code::kMachineCheck,
+                  kernel::RasEvent::Severity::kWarn, 0, 0,
+                  static_cast<std::uint64_t>(i));
+            }
+            if (host.alive()) host.node().poke();
+          });
+          break;
+      }
+    }
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace bg::testing

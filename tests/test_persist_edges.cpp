@@ -1,0 +1,99 @@
+// PersistRegistry misuse: pool exhaustion, uid mismatch on reopen,
+// oversized reopen, page rounding, and the address-stability contract
+// (paper §IV-D) that the service-node checkpoint store leans on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cnk/persist.hpp"
+#include "hw/phys_mem.hpp"
+
+namespace bg {
+namespace {
+
+constexpr std::uint64_t kMB = 1ULL << 20;
+
+cnk::PersistRegistry makePool(std::uint64_t bytes) {
+  cnk::PersistRegistry reg;
+  reg.configurePool(0, bytes, 0x5000'0000ULL);
+  return reg;
+}
+
+TEST(PersistEdges, PoolExhaustionRefusesCreateButKeepsExisting) {
+  cnk::PersistRegistry reg = makePool(4 * kMB);
+  ASSERT_TRUE(reg.openOrCreate("a", 2 * kMB, 1).has_value());
+  ASSERT_TRUE(reg.openOrCreate("b", 2 * kMB, 1).has_value());
+  EXPECT_EQ(reg.poolBytesUsed(), 4 * kMB);
+
+  // Pool is full: a new region of any size must be refused...
+  EXPECT_FALSE(reg.openOrCreate("c", 1, 1).has_value());
+  EXPECT_EQ(reg.regionCount(), 2u);
+  // ...while reopening the existing ones still works.
+  EXPECT_TRUE(reg.openOrCreate("a", 2 * kMB, 1).has_value());
+  EXPECT_TRUE(reg.openOrCreate("b", kMB, 1).has_value());
+}
+
+TEST(PersistEdges, ReopenWithWrongUidIsRefused) {
+  cnk::PersistRegistry reg = makePool(4 * kMB);
+  ASSERT_TRUE(reg.openOrCreate("secrets", kMB, 7).has_value());
+  EXPECT_FALSE(reg.openOrCreate("secrets", kMB, 8).has_value());
+  // The refusal changes nothing: the owner still gets in.
+  const auto again = reg.openOrCreate("secrets", kMB, 7);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->ownerUid, 7u);
+  // remove() enforces the same privilege.
+  EXPECT_FALSE(reg.remove("secrets", 8));
+  EXPECT_TRUE(reg.remove("secrets", 7));
+}
+
+TEST(PersistEdges, OversizedReopenIsRefused) {
+  cnk::PersistRegistry reg = makePool(8 * kMB);
+  const auto r = reg.openOrCreate("grow", 100, 1);  // rounds to 1MB
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size, kMB) << "1MB-page rounding";
+  // Anything up to the mapped (rounded) size reopens; beyond refuses.
+  EXPECT_TRUE(reg.openOrCreate("grow", kMB, 1).has_value());
+  EXPECT_FALSE(reg.openOrCreate("grow", kMB + 1, 1).has_value());
+  // A refused reopen must not have grown the region.
+  EXPECT_EQ(reg.find("grow")->size, kMB);
+}
+
+TEST(PersistEdges, AddressesStableAcrossJobBoundaries) {
+  // Two regions created by "job 1"; reopened by "job 2" they must map
+  // at the same virtual addresses with DRAM contents intact — that is
+  // the whole point of persistent memory, and what makes the service
+  // node's checkpoint survive its own restarts.
+  hw::PhysMem mem(8 * kMB);
+  cnk::PersistRegistry reg = makePool(8 * kMB);
+  const auto a1 = reg.openOrCreate("list", kMB, 1);
+  const auto b1 = reg.openOrCreate("index", kMB, 1);
+  ASSERT_TRUE(a1 && b1);
+  EXPECT_NE(a1->vbase, b1->vbase);
+  mem.write64(a1->pbase, 0x1122334455667788ULL);
+  mem.write64(b1->pbase, 0x99AABBCCDDEEFF00ULL);
+
+  // "Job 2": same names, smaller sizes are fine.
+  const auto a2 = reg.openOrCreate("list", 4096, 1);
+  const auto b2 = reg.openOrCreate("index", kMB, 1);
+  ASSERT_TRUE(a2 && b2);
+  EXPECT_EQ(a2->vbase, a1->vbase);
+  EXPECT_EQ(a2->pbase, a1->pbase);
+  EXPECT_EQ(b2->vbase, b1->vbase);
+  EXPECT_EQ(mem.read64(a2->pbase), 0x1122334455667788ULL);
+  EXPECT_EQ(mem.read64(b2->pbase), 0x99AABBCCDDEEFF00ULL);
+}
+
+TEST(PersistEdges, RemovedNameReusesNoPoolSpace) {
+  // Pool space is never reclaimed (regions live for the partition's
+  // lifetime); removing a name only frees the name.
+  cnk::PersistRegistry reg = makePool(2 * kMB);
+  ASSERT_TRUE(reg.openOrCreate("tmp", kMB, 1).has_value());
+  ASSERT_TRUE(reg.remove("tmp", 1));
+  EXPECT_EQ(reg.poolBytesUsed(), kMB);
+  ASSERT_TRUE(reg.openOrCreate("tmp2", kMB, 1).has_value());
+  // Pool now exhausted even though only one region is live.
+  EXPECT_FALSE(reg.openOrCreate("tmp3", kMB, 1).has_value());
+}
+
+}  // namespace
+}  // namespace bg

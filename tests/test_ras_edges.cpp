@@ -1,0 +1,210 @@
+// RAS aggregation edge cases: throttle-window behavior exactly at the
+// window boundary, fatal exemption while the throttle is saturated,
+// kernel-ring overflow accounting across multiple polls, the bounded
+// stream's own drop counter, and the predictive-drain warn window at
+// its edge.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/app.hpp"
+#include "svc/ras.hpp"
+
+namespace bg {
+namespace {
+
+using kernel::RasEvent;
+
+struct Rig {
+  rt::Cluster cluster;
+  kernel::KernelBase& k;
+
+  explicit Rig() : cluster(makeCfg()), k(cluster.kernelOn(0)) {}
+
+  static rt::ClusterConfig makeCfg() {
+    rt::ClusterConfig cfg;
+    cfg.computeNodes = 1;
+    return cfg;
+  }
+
+  /// Log an event with the given cycle stamp by scheduling the log at
+  /// that engine cycle (kernels stamp RAS entries with engine now()).
+  void logAt(sim::Cycle cycle, RasEvent::Code code,
+             RasEvent::Severity sev) {
+    cluster.engine().scheduleAt(cycle, [this, code, sev] {
+      k.logRas(code, sev, 0, 0, 0);
+    });
+  }
+
+  void drain() {
+    cluster.engine().runWhile([] { return false; }, 1'000'000);
+  }
+};
+
+TEST(RasEdges, ThrottleWindowBoundaryIsExclusive) {
+  Rig rig;
+  svc::RasAggregatorConfig cfg;
+  cfg.throttleWindowCycles = 100;
+  cfg.maxPerCodePerWindow = 1;
+  svc::RasAggregator agg(cfg);
+  agg.attach(0, &rig.k);
+
+  // Window opens at the first event's cycle. An event at windowStart +
+  // window - 1 is still inside (throttled); one at exactly windowStart
+  // + window opens a fresh window (admitted).
+  rig.logAt(0, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.logAt(99, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.logAt(100, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.logAt(199, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.drain();
+  agg.poll(200);
+
+  EXPECT_EQ(agg.accepted(), 2u);   // cycles 0 and 100
+  EXPECT_EQ(agg.throttled(), 2u);  // cycles 99 and 199
+  ASSERT_EQ(agg.stream().size(), 2u);
+  EXPECT_EQ(agg.stream()[0].event.cycle, 0u);
+  EXPECT_EQ(agg.stream()[1].event.cycle, 100u);
+}
+
+TEST(RasEdges, ThrottleIsPerCodeNotGlobal) {
+  Rig rig;
+  svc::RasAggregatorConfig cfg;
+  cfg.throttleWindowCycles = 1'000;
+  cfg.maxPerCodePerWindow = 1;
+  svc::RasAggregator agg(cfg);
+  agg.attach(0, &rig.k);
+
+  rig.logAt(0, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.logAt(1, RasEvent::Code::kSegv, RasEvent::Severity::kError);
+  rig.logAt(2, RasEvent::Code::kMachineCheck, RasEvent::Severity::kWarn);
+  rig.drain();
+  agg.poll(10);
+
+  // The second segv throttles; the machine check rides its own window.
+  EXPECT_EQ(agg.accepted(), 2u);
+  EXPECT_EQ(agg.throttled(), 1u);
+}
+
+TEST(RasEdges, FatalsExemptEvenWithThrottleSaturated) {
+  Rig rig;
+  svc::RasAggregatorConfig cfg;
+  cfg.throttleWindowCycles = 1'000'000;
+  cfg.maxPerCodePerWindow = 2;
+  svc::RasAggregator agg(cfg);
+  agg.attach(0, &rig.k);
+  int fatalsReported = 0;
+  agg.setFatalHandler([&](int, const RasEvent&) { ++fatalsReported; });
+
+  // Saturate the kNodeFailure code with error-severity events, then
+  // log fatals of the SAME code: every fatal must reach the stream and
+  // the handler despite the exhausted window.
+  for (int i = 0; i < 5; ++i) {
+    rig.logAt(10 + static_cast<sim::Cycle>(i),
+              RasEvent::Code::kNodeFailure, RasEvent::Severity::kError);
+  }
+  for (int i = 0; i < 3; ++i) {
+    rig.logAt(20 + static_cast<sim::Cycle>(i),
+              RasEvent::Code::kNodeFailure, RasEvent::Severity::kFatal);
+  }
+  rig.drain();
+  agg.poll(100);
+
+  EXPECT_EQ(agg.throttled(), 3u);  // errors beyond the window of 2
+  EXPECT_EQ(agg.accepted(), 5u);   // 2 errors + 3 fatals
+  EXPECT_EQ(fatalsReported, 3);
+  EXPECT_EQ(agg.countBySeverity(RasEvent::Severity::kFatal), 3u);
+  std::size_t fatalsInStream = 0;
+  for (const auto& se : agg.stream()) {
+    if (se.event.severity == RasEvent::Severity::kFatal) ++fatalsInStream;
+  }
+  EXPECT_EQ(fatalsInStream, 3u);
+}
+
+TEST(RasEdges, RingOverflowDropsStayAccurateAcrossPolls) {
+  Rig rig;
+  rig.k.setRasLogCapacity(4);
+  svc::RasAggregator agg;
+  agg.attach(0, &rig.k);
+
+  // Round 1: 10 events into a 4-deep ring -> 6 lost before the poll.
+  for (int i = 0; i < 10; ++i) {
+    rig.k.logRas(RasEvent::Code::kSegv, RasEvent::Severity::kError, 1, 1,
+                 static_cast<std::uint64_t>(i));
+  }
+  agg.poll(0);
+  EXPECT_EQ(agg.accepted() + agg.throttled(), 4u);
+  EXPECT_EQ(agg.dropped(), 6u);
+
+  // Round 2: 7 more -> 3 lost. The cursor must step over exactly the
+  // lost seqs and never re-consume round 1's survivors.
+  for (int i = 0; i < 7; ++i) {
+    rig.k.logRas(RasEvent::Code::kSegv, RasEvent::Severity::kError, 1, 1,
+                 static_cast<std::uint64_t>(100 + i));
+  }
+  agg.poll(1);
+  EXPECT_EQ(agg.accepted() + agg.throttled(), 8u);
+  EXPECT_EQ(agg.dropped(), 9u);
+
+  // Seqs in the stream are strictly increasing (nothing replayed).
+  for (std::size_t i = 1; i < agg.stream().size(); ++i) {
+    EXPECT_LT(agg.stream()[i - 1].event.seq, agg.stream()[i].event.seq);
+  }
+  // Round 3: nothing new -> a no-op poll changes no counter.
+  EXPECT_EQ(agg.poll(2), 0u);
+  EXPECT_EQ(agg.dropped(), 9u);
+}
+
+TEST(RasEdges, BoundedStreamCountsItsOwnDrops) {
+  Rig rig;
+  svc::RasAggregatorConfig cfg;
+  cfg.streamCapacity = 4;
+  cfg.maxPerCodePerWindow = 100;
+  svc::RasAggregator agg(cfg);
+  agg.attach(0, &rig.k);
+
+  for (int i = 0; i < 10; ++i) {
+    rig.k.logRas(RasEvent::Code::kSegv, RasEvent::Severity::kError, 1, 1,
+                 static_cast<std::uint64_t>(i));
+  }
+  agg.poll(0);
+  EXPECT_EQ(agg.accepted(), 10u);  // all admitted...
+  EXPECT_EQ(agg.stream().size(), 4u);  // ...but only 4 retained
+  EXPECT_EQ(agg.dropped(), 6u);        // and the loss is counted
+  // The retained entries are the newest ones.
+  EXPECT_EQ(agg.stream().front().event.detail, 6u);
+  EXPECT_EQ(agg.stream().back().event.detail, 9u);
+}
+
+TEST(RasEdges, WarnWindowEdgeEvictsExactlyAtWindowAge) {
+  Rig rig;
+  svc::RasAggregatorConfig cfg;
+  cfg.warnDrainThreshold = 2;
+  cfg.warnWindowCycles = 500;
+  svc::RasAggregator agg(cfg);
+  agg.attach(0, &rig.k);
+  int storms = 0;
+  agg.setWarnStormHandler([&](int, sim::Cycle) { ++storms; });
+
+  // Two warns exactly one window apart: the older one ages out at the
+  // instant the newer lands, so no storm.
+  rig.logAt(1'000, RasEvent::Code::kMachineCheck,
+            RasEvent::Severity::kWarn);
+  rig.logAt(1'500, RasEvent::Code::kMachineCheck,
+            RasEvent::Severity::kWarn);
+  rig.drain();
+  agg.poll(1'500);
+  EXPECT_EQ(storms, 0);
+  EXPECT_EQ(agg.warnsInWindow(0), 1u);
+
+  // One cycle tighter and the pair counts together: storm fires once
+  // and the window is cleared with it.
+  rig.logAt(1'999, RasEvent::Code::kMachineCheck,
+            RasEvent::Severity::kWarn);
+  rig.drain();
+  agg.poll(2'000);
+  EXPECT_EQ(storms, 1);
+  EXPECT_EQ(agg.warnsInWindow(0), 0u);
+}
+
+}  // namespace
+}  // namespace bg
