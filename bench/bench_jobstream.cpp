@@ -55,6 +55,8 @@ struct StreamResult {
   bool drained = false;
   std::uint64_t retries = 0;
   std::uint64_t coldStarts = 0;
+  cnk::FshipStats fship;  // cluster-wide function-shipping counters
+  io::CiodStats ciod;     // cluster-wide daemon counters
 };
 
 StreamResult runStream(const StreamParams& p) {
@@ -121,7 +123,31 @@ StreamResult runStream(const StreamParams& p) {
   r.metrics = host.metrics();
   r.retries = r.metrics.jobRetries;
   r.coldStarts = host.coldStarts();
+  r.fship = cluster.fshipTotals();
+  r.ciod = cluster.ciodTotals();
   return r;
+}
+
+sim::Json ioCountersJson(const StreamResult& r) {
+  sim::Json io = sim::Json::object();
+  sim::Json f = sim::Json::object();
+  f.set("requests", r.fship.requests);
+  f.set("retransmits", r.fship.retransmits);
+  f.set("timeouts", r.fship.timeouts);
+  f.set("duplicate_replies", r.fship.duplicateReplies);
+  f.set("corrupt_replies", r.fship.corruptReplies);
+  f.set("eio_returns", r.fship.eioReturns);
+  f.set("rehomes", r.fship.rehomes);
+  io.set("fship", std::move(f));
+  sim::Json c = sim::Json::object();
+  c.set("requests", r.ciod.requests);
+  c.set("errors", r.ciod.errors);
+  c.set("bad_checksums", r.ciod.badChecksums);
+  c.set("replays", r.ciod.replays);
+  c.set("stale_drops", r.ciod.staleDrops);
+  c.set("restores", r.ciod.restores);
+  io.set("ciod", std::move(c));
+  return io;
 }
 
 void printMetrics(const char* title, const StreamResult& res) {
@@ -159,6 +185,15 @@ void printMetrics(const char* title, const StreamResult& res) {
               static_cast<unsigned long long>(m.checkpointSaves),
               static_cast<unsigned long long>(m.checkpointBytes),
               static_cast<unsigned long long>(m.predictiveDrains));
+  std::printf("I/O path: %llu ops shipped, %llu retransmits, "
+              "%llu ciod errors, %llu replays, "
+              "%llu io failovers + %llu io reboots\n",
+              static_cast<unsigned long long>(res.fship.requests),
+              static_cast<unsigned long long>(res.fship.retransmits),
+              static_cast<unsigned long long>(res.ciod.errors),
+              static_cast<unsigned long long>(res.ciod.replays),
+              static_cast<unsigned long long>(m.ioFailovers),
+              static_cast<unsigned long long>(m.ioReboots));
   std::printf("schedule hash: %016llx\n",
               static_cast<unsigned long long>(m.scheduleHash));
 }
@@ -221,6 +256,7 @@ int main(int argc, char** argv) {
     j.set("crashes", static_cast<std::int64_t>(p.crashes));
     j.set("restart_delay", p.restartDelay);
     j.set("metrics", run1.metrics.toJson());
+    j.set("io", ioCountersJson(run1));
     j.set("cold_starts", run1.coldStarts);
     j.set("replay_hash_match", match);
     if (!j.writeFile(jsonPath)) {

@@ -18,7 +18,8 @@ CnkKernel::CnkKernel(hw::Node& node, Config cfg)
       cfg_(cfg),
       sched_(node.numCores(), cfg.maxThreadsPerCore),
       pendingGuard_(static_cast<std::size_t>(node.numCores())) {
-  fship_ = std::make_unique<FshipClient>(*this, cfg_.ioNodeNetId);
+  fship_ = std::make_unique<FshipClient>(*this, cfg_.ioNodeNetId,
+                                         cfg_.fship);
   fship_->attach();
   linker_ = std::make_unique<Linker>(*this);
   clockStop_ = std::make_unique<hw::ClockStop>(node);
@@ -175,6 +176,10 @@ bool CnkKernel::loadJob(const JobSpec& spec) {
 }
 
 void CnkKernel::unloadJob() {
+  // Drop in-flight shipped I/O first: pending completions hold Thread
+  // pointers that are about to be freed, and their watchdog timers
+  // must not fire into a torn-down job.
+  fship_->reset();
   for (auto& p : processes_) {
     for (const int c : procCores_[p->pid()]) {
       node_.core(c).mmu().invalidate(p->pid());

@@ -45,6 +45,9 @@ class CnkKernel final : public kernel::KernelBase {
     std::uint64_t mainStackBytes = 1ULL << 20;
     sim::Cycle syscallBaseCost = 90;  // trap + dispatch on CNK
     int ioNodeNetId = -1;             // set by the cluster harness
+    /// Function-shipping reliability knobs (watchdog, retransmit,
+    /// failover grace); defaults are invisible on a fault-free run.
+    FshipClient::Config fship;
     /// §VIII extended thread affinity: allow a core to execute a
     /// pthread from one designated "remote" process.
     bool remoteThreadExtension = false;

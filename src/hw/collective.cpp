@@ -5,6 +5,13 @@
 
 namespace bg::hw {
 
+void CollectiveNet::deliver(CollPacket&& p) {
+  ++packetsDelivered_;
+  bytesDelivered_ += p.payload.size();
+  auto it = handlers_.find(p.dstNode);
+  if (it != handlers_.end() && it->second) it->second(std::move(p));
+}
+
 void CollectiveNet::send(CollPacket packet) {
   const std::uint64_t bytes = packet.payload.size();
   const sim::Cycle now = engine_.now();
@@ -12,14 +19,28 @@ void CollectiveNet::send(CollPacket packet) {
   const sim::Cycle start = std::max(now, busy);
   const sim::Cycle ser = serialize(bytes);
   busy = start + ser;
-  const sim::Cycle arrive =
+  sim::Cycle arrive =
       start + ser + cfg_.perHopLatency * static_cast<sim::Cycle>(cfg_.treeDepth);
 
+  if (faults_ != nullptr && faults_->anyEnabled()) {
+    LinkFaultOutcome f = faults_->judge(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(packet.srcNode)),
+        packet.payload.size());
+    if (f.drop) return;  // serialization stays charged; nothing arrives
+    if (f.corrupt) {
+      packet.payload[f.corruptByteIndex] ^= std::byte{f.corruptXor};
+    }
+    arrive += f.extraDelay;
+    if (f.duplicate) {
+      engine_.scheduleAt(arrive + f.duplicateDelay,
+                         [this, p = packet]() mutable {  // copy
+                           deliver(std::move(p));
+                         });
+    }
+  }
+
   engine_.scheduleAt(arrive, [this, p = std::move(packet)]() mutable {
-    ++packetsDelivered_;
-    bytesDelivered_ += p.payload.size();
-    auto it = handlers_.find(p.dstNode);
-    if (it != handlers_.end() && it->second) it->second(std::move(p));
+    deliver(std::move(p));
   });
 }
 

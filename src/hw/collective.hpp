@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "hw/link_fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 
@@ -48,8 +49,15 @@ class CollectiveNet {
   }
 
   /// Send a packet; delivery is scheduled per the latency/serialization
-  /// model. Payload bytes are moved, not copied.
+  /// model. Payload bytes are moved, not copied. When a fault model is
+  /// attached (link key = source node id) the packet may be dropped
+  /// (serialization is still charged — the bytes went onto the wire),
+  /// corrupted in place, delayed, or delivered twice.
   void send(CollPacket packet);
+
+  /// Attach a seeded fault model; nullptr detaches. Not owned.
+  void setFaultModel(LinkFaultModel* m) { faults_ = m; }
+  LinkFaultModel* faultModel() const { return faults_; }
 
   /// Contribute to a double-sum combine over `groupSize` participants
   /// identified by groupId. When the last contribution arrives, every
@@ -75,8 +83,11 @@ class CollectiveNet {
         static_cast<double>(bytes) / cfg_.bytesPerCycle);
   }
 
+  void deliver(CollPacket&& p);
+
   sim::Engine& engine_;
   CollectiveConfig cfg_;
+  LinkFaultModel* faults_ = nullptr;
   std::unordered_map<int, PacketHandler> handlers_;
   std::unordered_map<int, sim::Cycle> uplinkBusyUntil_;
   std::map<std::uint64_t, Reduction> reductions_;

@@ -1,0 +1,47 @@
+#include "hw/link_fault.hpp"
+
+namespace bg::hw {
+
+LinkFaultOutcome LinkFaultModel::judge(std::uint64_t linkKey,
+                                       std::size_t payloadBytes) {
+  LinkFaultOutcome out;
+  const LinkFaultRates& r = ratesFor(linkKey);
+  if (!r.enabled()) return out;
+  ++stats_.packetsSeen;
+
+  if (r.dropRate > 0.0 && rng_.nextDouble() < r.dropRate) {
+    out.drop = true;
+    ++stats_.dropped;
+    return out;  // a dropped packet can't also be corrupted or delayed
+  }
+  if (r.corruptRate > 0.0 && rng_.nextDouble() < r.corruptRate) {
+    out.corrupt = true;
+    if (payloadBytes > 0) {
+      out.corruptByteIndex = static_cast<std::size_t>(
+          rng_.nextBelow(static_cast<std::uint64_t>(payloadBytes)));
+      out.corruptXor =
+          static_cast<std::uint8_t>(1 + rng_.nextBelow(255));  // never 0
+      ++stats_.corrupted;
+    } else {
+      out.corrupt = false;  // nothing to damage
+    }
+  }
+  if (r.delayRate > 0.0 && rng_.nextDouble() < r.delayRate) {
+    const sim::Cycle span = r.delayMaxCycles > r.delayMinCycles
+                                ? r.delayMaxCycles - r.delayMinCycles
+                                : 0;
+    out.extraDelay =
+        r.delayMinCycles +
+        (span > 0 ? static_cast<sim::Cycle>(rng_.nextBelow(span + 1)) : 0);
+    ++stats_.delayed;
+  }
+  if (r.duplicateRate > 0.0 && rng_.nextDouble() < r.duplicateRate) {
+    out.duplicate = true;
+    out.duplicateDelay =
+        1 + static_cast<sim::Cycle>(rng_.nextBelow(r.delayMinCycles + 1));
+    ++stats_.duplicated;
+  }
+  return out;
+}
+
+}  // namespace bg::hw

@@ -1,0 +1,98 @@
+// Deterministic link-fault injection for the network models.
+//
+// The paper's RAS story (§III, §IV) exists because real machines drop,
+// corrupt and delay packets; this model makes those events first-class
+// *and reproducible*: every fault decision flows from a seeded
+// sim::Rng, never from wall-clock state, so a faulty run replays
+// cycle-exactly under the same seed. With all rates zero the model
+// draws no random numbers at all — a fault-free run is bit-identical
+// to a build without the model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace bg::hw {
+
+/// Per-packet fault rates. Probabilities in [0, 1); delays in cycles.
+struct LinkFaultRates {
+  double dropRate = 0.0;       // packet vanishes (charged to the wire)
+  double corruptRate = 0.0;    // one payload byte is flipped
+  double delayRate = 0.0;      // extra latency is added
+  double duplicateRate = 0.0;  // packet is delivered twice
+  sim::Cycle delayMinCycles = 1'000;
+  sim::Cycle delayMaxCycles = 50'000;
+
+  bool enabled() const {
+    return dropRate > 0.0 || corruptRate > 0.0 || delayRate > 0.0 ||
+           duplicateRate > 0.0;
+  }
+};
+
+struct LinkFaultStats {
+  std::uint64_t packetsSeen = 0;  // packets on faulted links only
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+};
+
+/// One fault decision for a packet about to traverse a link.
+struct LinkFaultOutcome {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  sim::Cycle extraDelay = 0;            // applied to the (first) delivery
+  sim::Cycle duplicateDelay = 0;        // second copy lags the first
+  std::size_t corruptByteIndex = 0;     // which payload byte to damage
+  std::uint8_t corruptXor = 0;          // how to damage it (never 0)
+};
+
+/// Seeded fault model shared by the collective and torus networks.
+/// Link identity is an opaque uint64 key chosen by the caller (the
+/// collective uses the source node id; the torus its directed-link
+/// key); per-link rate overrides take precedence over the defaults.
+class LinkFaultModel {
+ public:
+  LinkFaultModel(std::uint64_t seed, const char* component)
+      : rng_(seed, component) {}
+
+  void setDefaultRates(const LinkFaultRates& r) { defaults_ = r; }
+  void setLinkRates(std::uint64_t linkKey, const LinkFaultRates& r) {
+    perLink_[linkKey] = r;
+  }
+  const LinkFaultRates& ratesFor(std::uint64_t linkKey) const {
+    auto it = perLink_.find(linkKey);
+    return it != perLink_.end() ? it->second : defaults_;
+  }
+
+  /// True when any link could fault — callers may skip the hook (and
+  /// thus all RNG draws) entirely when false.
+  bool anyEnabled() const {
+    if (defaults_.enabled()) return true;
+    for (const auto& [k, r] : perLink_) {
+      if (r.enabled()) return true;
+    }
+    return false;
+  }
+
+  /// Decide the fate of one packet of `payloadBytes` bytes on
+  /// `linkKey`. Draws from the RNG only for fault classes whose rate
+  /// is nonzero, and nothing at all when the link's rates are clean.
+  LinkFaultOutcome judge(std::uint64_t linkKey, std::size_t payloadBytes);
+
+  const LinkFaultStats& stats() const { return stats_; }
+
+ private:
+  sim::Rng rng_;
+  LinkFaultRates defaults_;
+  std::map<std::uint64_t, LinkFaultRates> perLink_;
+  LinkFaultStats stats_;
+};
+
+}  // namespace bg::hw

@@ -23,6 +23,7 @@ MachineConfig Machine::normalize(MachineConfig cfg) {
     cfg.torus.dims = {x, y, z};
   }
   if (cfg.ioNodes < 1) cfg.ioNodes = 1;
+  if (cfg.spareIoNodes < 0) cfg.spareIoNodes = 0;
   return cfg;
 }
 
@@ -30,7 +31,13 @@ Machine::Machine(const MachineConfig& cfg)
     : cfg_(normalize(cfg)),
       collective_(engine_, cfg_.collective),
       torus_(engine_, cfg_.torus),
-      barrier_(engine_, cfg_.barrier) {
+      barrier_(engine_, cfg_.barrier),
+      collFaults_(cfg_.seed, "collective-faults"),
+      torusFaults_(cfg_.seed, "torus-faults") {
+  collFaults_.setDefaultRates(cfg_.collectiveFaults);
+  torusFaults_.setDefaultRates(cfg_.torusFaults);
+  collective_.setFaultModel(&collFaults_);
+  torus_.setFaultModel(&torusFaults_);
   compute_.reserve(static_cast<std::size_t>(cfg_.computeNodes));
   for (int i = 0; i < cfg_.computeNodes; ++i) {
     auto n = std::make_unique<Node>(engine_, i, cfg_.node);
@@ -40,8 +47,9 @@ Machine::Machine(const MachineConfig& cfg)
     torus_.attachNode(i, n.get());
     compute_.push_back(std::move(n));
   }
-  io_.reserve(static_cast<std::size_t>(cfg_.ioNodes));
-  for (int i = 0; i < cfg_.ioNodes; ++i) {
+  const int totalIo = cfg_.ioNodes + cfg_.spareIoNodes;
+  io_.reserve(static_cast<std::size_t>(totalIo));
+  for (int i = 0; i < totalIo; ++i) {
     auto n = std::make_unique<Node>(engine_, kIoNodeIdBase + i, cfg_.node);
     n->attachCollective(&collective_);
     n->attachBarrier(&barrier_);

@@ -8,6 +8,7 @@
 
 #include "hw/barrier_net.hpp"
 #include "hw/collective.hpp"
+#include "hw/link_fault.hpp"
 #include "hw/node.hpp"
 #include "hw/torus.hpp"
 #include "sim/engine.hpp"
@@ -23,10 +24,18 @@ struct MachineConfig {
   int computeNodes = 1;
   int ioNodes = 1;
   int computeNodesPerIoNode = 64;  // pset size (BG/P: 16..128)
+  /// Cold spare I/O nodes (net ids follow the primaries). A spare has
+  /// no pset of its own; the cluster activates one when a primary's
+  /// CIOD dies and re-homes the pset onto it.
+  int spareIoNodes = 0;
   NodeConfig node;
   TorusConfig torus;              // dims default derived if {1,1,1}
   CollectiveConfig collective;
   BarrierConfig barrier;
+  /// Seeded link-fault injection (defaults: all rates zero = off, no
+  /// RNG draws, bit-identical to a fault-free build).
+  LinkFaultRates collectiveFaults;
+  LinkFaultRates torusFaults;
   std::uint64_t seed = 42;
 };
 
@@ -40,9 +49,15 @@ class Machine {
   const MachineConfig& config() const { return cfg_; }
 
   int numComputeNodes() const { return static_cast<int>(compute_.size()); }
-  int numIoNodes() const { return static_cast<int>(io_.size()); }
+  /// Primary I/O nodes only; the pset mapping never lands on a spare.
+  int numIoNodes() const { return cfg_.ioNodes; }
+  int numSpareIoNodes() const { return cfg_.spareIoNodes; }
   Node& node(int i) { return *compute_[static_cast<std::size_t>(i)]; }
   Node& ioNode(int i) { return *io_[static_cast<std::size_t>(i)]; }
+  /// Spare s lives at net id kIoNodeIdBase + numIoNodes() + s.
+  Node& spareIoNode(int s) {
+    return *io_[static_cast<std::size_t>(cfg_.ioNodes + s)];
+  }
 
   /// The I/O node serving a given compute node (pset mapping).
   int ioNodeIndexFor(int computeNodeId) const {
@@ -56,6 +71,12 @@ class Machine {
   CollectiveNet& collective() { return collective_; }
   TorusNet& torus() { return torus_; }
   BarrierNet& barrier() { return barrier_; }
+
+  /// Seeded fault models wired into the two packet networks. Rates
+  /// default from the config; tests may tighten/loosen them per link
+  /// at any time (deterministically — the RNG stream is the seed's).
+  LinkFaultModel& collectiveFaults() { return collFaults_; }
+  LinkFaultModel& torusFaults() { return torusFaults_; }
 
   std::uint64_t seed() const { return cfg_.seed; }
 
@@ -76,8 +97,10 @@ class Machine {
   CollectiveNet collective_;
   TorusNet torus_;
   BarrierNet barrier_;
+  LinkFaultModel collFaults_;
+  LinkFaultModel torusFaults_;
   std::vector<std::unique_ptr<Node>> compute_;
-  std::vector<std::unique_ptr<Node>> io_;
+  std::vector<std::unique_ptr<Node>> io_;  // primaries, then spares
 };
 
 }  // namespace bg::hw

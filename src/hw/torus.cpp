@@ -71,10 +71,26 @@ std::pair<sim::Cycle, sim::Cycle> TorusNet::reserveRoute(
   return {start, arrive};
 }
 
+sim::Cycle TorusNet::faultRecoveryDelay(int srcNode, std::uint64_t bytes) {
+  if (faults_ == nullptr || !faults_->anyEnabled()) return 0;
+  const LinkFaultOutcome f =
+      faults_->judge(static_cast<std::uint64_t>(srcNode) << 3, bytes);
+  sim::Cycle extra = f.extraDelay;
+  if (f.drop || f.corrupt) {
+    // Link-level CRC retransmit: the packet is re-serialized after a
+    // NACK turnaround; software above never sees the loss.
+    extra += static_cast<sim::Cycle>(static_cast<double>(bytes) /
+                                     cfg_.bytesPerCycle) +
+             2 * cfg_.hopLatency;
+  }
+  return extra;
+}
+
 void TorusNet::sendPacket(TorusPacket packet) {
-  const auto [start, arrive] =
+  auto [start, arrive] =
       reserveRoute(packet.srcNode, packet.dstNode, packet.payload.size());
   (void)start;
+  arrive += faultRecoveryDelay(packet.srcNode, packet.payload.size());
   bytesMoved_ += packet.payload.size();
   engine_.scheduleAt(arrive + cfg_.dmaRecvCost,
                      [this, p = std::move(packet)]() mutable {
@@ -111,7 +127,8 @@ void TorusNet::dmaPut(int srcNode, PAddr srcPa, int dstNode, PAddr dstPa,
     return;
   }
 
-  const auto [start, arrive] = reserveRoute(srcNode, dstNode, bytes);
+  auto [start, arrive] = reserveRoute(srcNode, dstNode, bytes);
+  arrive += faultRecoveryDelay(srcNode, bytes);
   const sim::Cycle injectDone =
       std::max(start, engine_.now() + cfg_.dmaInjectCost) +
       static_cast<sim::Cycle>(static_cast<double>(bytes) /
@@ -139,8 +156,9 @@ void TorusNet::dmaGet(int srcNode, PAddr localPa, int dstNode,
                       PAddr remotePa, std::uint64_t bytes,
                       std::function<void()> onComplete) {
   // A get is a small request packet followed by a put coming back.
-  const auto [reqStart, reqArrive] = reserveRoute(srcNode, dstNode, 32);
+  auto [reqStart, reqArrive] = reserveRoute(srcNode, dstNode, 32);
   (void)reqStart;
+  reqArrive += faultRecoveryDelay(srcNode, 32);
   engine_.scheduleAt(
       reqArrive + cfg_.dmaRecvCost,
       [this, srcNode, localPa, dstNode, remotePa, bytes,

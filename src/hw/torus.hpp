@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/addr.hpp"
+#include "hw/link_fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 
@@ -73,6 +74,15 @@ class TorusNet {
   void dmaGet(int srcNode, PAddr localPa, int dstNode, PAddr remotePa,
               std::uint64_t bytes, std::function<void()> onComplete);
 
+  /// Attach a seeded fault model; nullptr detaches. Not owned. Torus
+  /// links carry hardware CRC + link-level retransmit (as on BG/P), so
+  /// drops and corruptions never reach software: they surface as a
+  /// deterministic retry *delay* on the transfer (serialization +
+  /// NACK turnaround), and duplicates are absorbed by the link layer.
+  /// Link key for per-link overrides: source node id << 3.
+  void setFaultModel(LinkFaultModel* m) { faults_ = m; }
+  LinkFaultModel* faultModel() const { return faults_; }
+
   int hops(int a, int b) const;
   const TorusConfig& config() const { return cfg_; }
   sim::Engine& engine() { return engine_; }
@@ -83,9 +93,13 @@ class TorusNet {
   /// Reserve the dimension-order route; returns (start, arrive) cycles.
   std::pair<sim::Cycle, sim::Cycle> reserveRoute(int src, int dst,
                                                  std::uint64_t bytes);
+  /// Extra cycles the link layer spends recovering from injected
+  /// faults on this transfer (0 when no model or no fault).
+  sim::Cycle faultRecoveryDelay(int srcNode, std::uint64_t bytes);
 
   sim::Engine& engine_;
   TorusConfig cfg_;
+  LinkFaultModel* faults_ = nullptr;
   std::unordered_map<int, Node*> nodes_;
   std::unordered_map<int, PacketHandler> handlers_;
   // Directed link key: (nodeId << 3) | (dim << 1) | direction.

@@ -8,9 +8,23 @@
 namespace bg::io {
 
 Ciod::Ciod(hw::Node& ioNode, Vfs& vfs, sim::Cycle perOpOverhead)
-    : ioNode_(ioNode), vfs_(vfs), perOpOverhead_(perOpOverhead) {
+    : ioNode_(ioNode),
+      vfs_(vfs),
+      perOpOverhead_(perOpOverhead),
+      alive_(std::make_shared<bool>(true)) {
   ioNode_.collective()->setHandler(
       ioNode_.id(), [this](hw::CollPacket&& pkt) { onPacket(std::move(pkt)); });
+}
+
+Ciod::~Ciod() {
+  if (!crashed_) crash();
+}
+
+void Ciod::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ioNode_.collective()->setHandler(ioNode_.id(), nullptr);
+  alive_.reset();  // in-flight scheduled replies dissolve
 }
 
 IoProxy& Ciod::proxyFor(std::int32_t cnNode, std::uint32_t pid) {
@@ -31,15 +45,80 @@ std::size_t Ciod::proxyThreadCount() const {
 }
 
 void Ciod::onPacket(hw::CollPacket&& pkt) {
-  if (pkt.channel != kChanFshipRequest) return;
+  if (crashed_ || pkt.channel != kChanFshipRequest) return;
   auto req = FsRequest::decode(pkt.payload);
   if (!req) {
+    // Checksum or framing failure: drop silently — the client's
+    // watchdog owns recovery.
     ++stats_.errors;
+    ++stats_.badChecksums;
     return;
   }
+
+  // Replay suppression per (node, pid, tid): the client sends at most
+  // one op at a time per channel, so one cached reply per channel is
+  // an exactly-once filter for retransmitted non-idempotent ops.
+  const ChanKey chan{{req->srcNode, req->pid}, req->tid};
+  auto rit = replay_.find(chan);
+  if (rit != replay_.end()) {
+    if (req->seq == rit->second.seq) {
+      ++stats_.replays;
+      stats_.bytesOut += rit->second.encodedReply.size();
+      // Resend from cache without re-executing; charge only the
+      // daemon handoff, not a filesystem op.
+      sendReplyAt(ioNode_.engine().now() + perOpOverhead_,
+                  rit->second.encodedReply, req->srcNode);
+      return;
+    }
+    if (req->seq < rit->second.seq) {
+      ++stats_.staleDrops;
+      return;
+    }
+  }
+
   ++stats_.requests;
   stats_.bytesIn += pkt.payload.size();
   serve(*req);
+}
+
+std::int64_t Ciod::serveRestore(const FsRequest& req) {
+  auto snap = ShadowSnapshot::decode(req.payload);
+  if (!snap) return -kernel::kEINVAL;
+  // Rebuild the ioproxy from the compute node's shadow: a fresh
+  // VfsClient whose fd numbers, offsets, dup groups, cwd and next-fd
+  // counter match the client's last-acknowledged view. Ops the old
+  // CIOD acked after that view are rolled back from this proxy's
+  // perspective — the client retransmits them once the restore acks.
+  auto key = std::make_pair(req.srcNode, req.pid);
+  proxies_[key] = std::make_unique<IoProxy>(vfs_, ioNode_.engine());
+  VfsClient& c = proxies_[key]->client();
+  std::int64_t firstErr = 0;
+  for (const auto& f : snap->fds) {
+    const std::int64_t rc =
+        c.restoreFd(f.fd, f.path, f.flags, f.offset, f.shareWithFd);
+    if (rc < 0 && firstErr == 0) firstErr = rc;
+  }
+  c.setCwd(snap->cwd);
+  c.setNextFd(snap->nextFd);
+  ++stats_.restores;
+  return firstErr;
+}
+
+void Ciod::sendReplyAt(sim::Cycle when, std::vector<std::byte> bytes,
+                       int dst) {
+  const int self = ioNode_.id();
+  hw::CollectiveNet* net = ioNode_.collective();
+  std::weak_ptr<bool> alive = alive_;
+  ioNode_.engine().scheduleAt(
+      when, [net, self, dst, bytes = std::move(bytes), alive]() mutable {
+        if (alive.lock() == nullptr) return;  // daemon died under us
+        hw::CollPacket out;
+        out.srcNode = self;
+        out.dstNode = dst;
+        out.channel = kChanFshipReply;
+        out.payload = std::move(bytes);
+        net->send(std::move(out));
+      });
 }
 
 void Ciod::serve(const FsRequest& req) {
@@ -57,22 +136,33 @@ void Ciod::serve(const FsRequest& req) {
   // "the calls produce the same result codes, network filesystem
   // nuances, etc.").
   switch (req.op) {
-    case FsOp::kOpen:
+    case FsOp::kOpen: {
       rep.result = c.open(req.path, req.a0);
+      if (rep.result >= 0) {
+        // Tell the client the fd's initial offset (nonzero only for
+        // O_APPEND) so its shadow can reserve write offsets.
+        const auto off = c.offsetOf(static_cast<int>(rep.result));
+        const std::uint64_t v = off.value_or(0);
+        rep.payload.resize(sizeof v);
+        std::memcpy(rep.payload.data(), &v, sizeof v);
+      }
       break;
+    }
     case FsOp::kClose:
       rep.result = c.close(static_cast<int>(req.a0));
       break;
     case FsOp::kRead: {
+      // Explicit offset (a2) reserved by the client's shadow: a
+      // retransmitted read re-reads the same range.
       rep.payload.resize(req.a1);
-      rep.result = c.read(static_cast<int>(req.a0), rep.payload);
+      rep.result = c.preadAt(static_cast<int>(req.a0), rep.payload, req.a2);
       rep.payload.resize(rep.result > 0
                              ? static_cast<std::size_t>(rep.result)
                              : 0);
       break;
     }
     case FsOp::kWrite:
-      rep.result = c.write(static_cast<int>(req.a0), req.payload);
+      rep.result = c.pwriteAt(static_cast<int>(req.a0), req.payload, req.a2);
       break;
     case FsOp::kLseek:
       rep.result = c.lseek(static_cast<int>(req.a0),
@@ -106,30 +196,27 @@ void Ciod::serve(const FsRequest& req) {
     case FsOp::kDup:
       rep.result = c.dup(static_cast<int>(req.a0));
       break;
+    case FsOp::kRestoreState:
+      rep.result = serveRestore(req);
+      break;
   }
   if (rep.result < 0) ++stats_.errors;
 
   // Serialize per proxy thread: the dedicated proxy thread for this
-  // compute thread finishes its previous op first.
+  // compute thread finishes its previous op first. (kRestoreState
+  // replaced the proxy above; re-resolve rather than reuse `proxy`.)
   sim::Engine& eng = ioNode_.engine();
-  sim::Cycle& busy = proxy.threadBusyUntil(req.tid);
+  IoProxy& p2 = proxyFor(req.srcNode, req.pid);
+  sim::Cycle& busy = p2.threadBusyUntil(req.tid);
   const sim::Cycle start = std::max(eng.now(), busy);
-  const sim::Cycle done = start + perOpOverhead_ + c.lastLatency();
+  const sim::Cycle done = start + perOpOverhead_ + p2.client().lastLatency();
   busy = done;
 
   auto bytes = rep.encode();
   stats_.bytesOut += bytes.size();
-  const int dst = rep.srcNode;
-  const int self = ioNode_.id();
-  hw::CollectiveNet* net = ioNode_.collective();
-  eng.scheduleAt(done, [net, self, dst, bytes = std::move(bytes)]() mutable {
-    hw::CollPacket out;
-    out.srcNode = self;
-    out.dstNode = dst;
-    out.channel = kChanFshipReply;
-    out.payload = std::move(bytes);
-    net->send(std::move(out));
-  });
+  replay_[ChanKey{{req.srcNode, req.pid}, req.tid}] =
+      ReplayEntry{req.seq, bytes};
+  sendReplyAt(done, std::move(bytes), rep.srcNode);
 }
 
 }  // namespace bg::io

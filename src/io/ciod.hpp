@@ -6,11 +6,21 @@
 // state; each thread of the process has a dedicated proxy thread,
 // modelled as an independent service timeline per (pid, tid) so
 // operations from different threads of one process can overlap.
+//
+// Reliability: requests are checksummed (corrupted ones are dropped —
+// the client's watchdog retransmits) and carry per-(pid, tid) sequence
+// numbers. A per-channel replay cache makes retried non-idempotent ops
+// (open, write-at-offset) execute exactly once: a request whose seq
+// matches the channel's last served op gets the cached reply resent,
+// an older seq is a stale duplicate and is dropped. crash() makes the
+// daemon fail-stop (for the CIOD-failover experiments): the handler
+// detaches and every in-flight reply dies with it.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "hw/collective.hpp"
 #include "hw/node.hpp"
@@ -23,7 +33,23 @@ struct CiodStats {
   std::uint64_t requests = 0;
   std::uint64_t bytesIn = 0;
   std::uint64_t bytesOut = 0;
-  std::uint64_t errors = 0;
+  std::uint64_t errors = 0;        // decode failures + negative results
+  std::uint64_t badChecksums = 0;  // corrupted requests dropped
+  std::uint64_t replays = 0;       // duplicate requests answered from cache
+  std::uint64_t staleDrops = 0;    // requests older than the cached seq
+  std::uint64_t restores = 0;      // kRestoreState ops served
+
+  CiodStats& operator+=(const CiodStats& o) {
+    requests += o.requests;
+    bytesIn += o.bytesIn;
+    bytesOut += o.bytesOut;
+    errors += o.errors;
+    badChecksums += o.badChecksums;
+    replays += o.replays;
+    staleDrops += o.staleDrops;
+    restores += o.restores;
+    return *this;
+  }
 };
 
 class IoProxy {
@@ -45,6 +71,13 @@ class Ciod {
   /// against the given VFS. `perOpOverhead` models CIOD's shared-buffer
   /// handoff plus the Linux syscall made by the ioproxy.
   Ciod(hw::Node& ioNode, Vfs& vfs, sim::Cycle perOpOverhead = 4200);
+  ~Ciod();
+
+  /// Fail-stop the daemon: detach from the network and kill every
+  /// reply still in flight. A crashed Ciod never serves again — the
+  /// cluster boots a replacement (same node or a spare) instead.
+  void crash();
+  bool crashed() const { return crashed_; }
 
   const CiodStats& stats() const { return stats_; }
   /// Number of live ioproxies == number of compute processes served.
@@ -55,16 +88,30 @@ class Ciod {
   hw::Node& ioNode() { return ioNode_; }
 
  private:
+  using ChanKey = std::pair<std::pair<std::int32_t, std::uint32_t>,
+                            std::uint32_t>;  // ((node, pid), tid)
+  struct ReplayEntry {
+    std::uint64_t seq = 0;
+    std::vector<std::byte> encodedReply;
+  };
+
   void onPacket(hw::CollPacket&& pkt);
   void serve(const FsRequest& req);
+  std::int64_t serveRestore(const FsRequest& req);
+  void sendReplyAt(sim::Cycle when, std::vector<std::byte> bytes, int dst);
   IoProxy& proxyFor(std::int32_t cnNode, std::uint32_t pid);
 
   hw::Node& ioNode_;
   Vfs& vfs_;
   sim::Cycle perOpOverhead_;
+  bool crashed_ = false;
+  /// Liveness token for scheduled reply sends: crash() drops it, so
+  /// replies already on the engine queue dissolve instead of sending.
+  std::shared_ptr<bool> alive_;
   // Keyed by (compute node id, pid).
   std::map<std::pair<std::int32_t, std::uint32_t>, std::unique_ptr<IoProxy>>
       proxies_;
+  std::map<ChanKey, ReplayEntry> replay_;
   CiodStats stats_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "sim/hash.hpp"
+
 namespace bg::io {
 
 namespace {
@@ -65,6 +67,31 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
+/// Append an FNV-1a digest of everything written so far; the wire
+/// format is <body><u64 checksum>.
+std::vector<std::byte> seal(Writer&& w) {
+  std::vector<std::byte> buf = std::move(w).take();
+  const std::uint64_t sum = sim::hashBytes(buf);
+  Writer tail;
+  tail.u64(sum);
+  const std::vector<std::byte> t = std::move(tail).take();
+  buf.insert(buf.end(), t.begin(), t.end());
+  return buf;
+}
+
+/// Verify and strip the trailing checksum; nullopt span on mismatch
+/// (corruption anywhere in the message, checksum included).
+std::optional<std::span<const std::byte>> unseal(
+    std::span<const std::byte> buf) {
+  if (buf.size() < sizeof(std::uint64_t)) return std::nullopt;
+  const std::span<const std::byte> body =
+      buf.first(buf.size() - sizeof(std::uint64_t));
+  std::uint64_t sum = 0;
+  std::memcpy(&sum, buf.data() + body.size(), sizeof sum);
+  if (sim::hashBytes(body) != sum) return std::nullopt;
+  return body;
+}
+
 }  // namespace
 
 std::vector<std::byte> FsRequest::encode() const {
@@ -79,12 +106,14 @@ std::vector<std::byte> FsRequest::encode() const {
   w.u64(a2);
   w.str(path);
   w.bytes(payload);
-  return w.take();
+  return seal(std::move(w));
 }
 
 std::optional<FsRequest> FsRequest::decode(std::span<const std::byte> buf) {
+  const auto body = unseal(buf);
+  if (!body) return std::nullopt;
   FsRequest r;
-  Reader rd(buf);
+  Reader rd(*body);
   std::uint32_t op = 0;
   if (!rd.u64(&r.seq) || !rd.i32(&r.srcNode) || !rd.u32(&r.pid) ||
       !rd.u32(&r.tid) || !rd.u32(&op) || !rd.u64(&r.a0) || !rd.u64(&r.a1) ||
@@ -103,17 +132,59 @@ std::vector<std::byte> FsReply::encode() const {
   w.u32(tid);
   w.i64(result);
   w.bytes(payload);
-  return w.take();
+  return seal(std::move(w));
 }
 
 std::optional<FsReply> FsReply::decode(std::span<const std::byte> buf) {
+  const auto body = unseal(buf);
+  if (!body) return std::nullopt;
   FsReply r;
-  Reader rd(buf);
+  Reader rd(*body);
   if (!rd.u64(&r.seq) || !rd.i32(&r.srcNode) || !rd.u32(&r.pid) ||
       !rd.u32(&r.tid) || !rd.i64(&r.result) || !rd.bytes(&r.payload)) {
     return std::nullopt;
   }
   return r;
+}
+
+std::vector<std::byte> ShadowSnapshot::encode() const {
+  Writer w;
+  w.u32(pid);
+  w.i32(nextFd);
+  w.str(cwd);
+  w.u32(static_cast<std::uint32_t>(fds.size()));
+  for (const Fd& f : fds) {
+    w.i32(f.fd);
+    w.i32(f.shareWithFd);
+    w.u64(f.flags);
+    w.u64(f.offset);
+    w.str(f.path);
+  }
+  // No checksum of its own: a snapshot always travels inside a sealed
+  // FsRequest payload.
+  return std::move(w).take();
+}
+
+std::optional<ShadowSnapshot> ShadowSnapshot::decode(
+    std::span<const std::byte> buf) {
+  ShadowSnapshot s;
+  Reader rd(buf);
+  std::uint32_t n = 0;
+  if (!rd.u32(&s.pid) || !rd.i32(&s.nextFd) || !rd.str(&s.cwd) ||
+      !rd.u32(&n)) {
+    return std::nullopt;
+  }
+  // Each entry needs at least 28 bytes; reject absurd counts before
+  // resize so a truncated buffer can't trigger a huge allocation.
+  if (static_cast<std::size_t>(n) * 28 > buf.size()) return std::nullopt;
+  s.fds.resize(n);
+  for (Fd& f : s.fds) {
+    if (!rd.i32(&f.fd) || !rd.i32(&f.shareWithFd) || !rd.u64(&f.flags) ||
+        !rd.u64(&f.offset) || !rd.str(&f.path)) {
+      return std::nullopt;
+    }
+  }
+  return s;
 }
 
 }  // namespace bg::io

@@ -4,6 +4,14 @@
 // carried over the collective-network model; nothing is passed by
 // host pointer. A write() request carries the user's buffer bytes, a
 // read() reply carries the data that lands back in user memory.
+//
+// Reliability layer: every message ends in an FNV-1a checksum of the
+// preceding bytes, so link corruption is *detected* (decode returns
+// nullopt) rather than silently absorbed; `seq` is monotone per
+// (pid, tid) channel, which lets CIOD suppress duplicate requests via
+// its replay cache and lets CNK discard stale or duplicated replies.
+// kRead/kWrite carry an explicit file offset (a2) reserved by the
+// client against its shadow fd table, making retransmits idempotent.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,10 @@ enum class FsOp : std::uint32_t {
   kChdir,
   kGetcwd,
   kDup,
+  // Failover: bulk-restore a process's ioproxy state (fd table, cwd)
+  // on a replacement I/O node from the CNK-side shadow. Sent on the
+  // reserved (pid, tid=0) control channel.
+  kRestoreState,
 };
 
 /// Collective-network channel tags.
@@ -58,6 +70,28 @@ struct FsReply {
 
   std::vector<std::byte> encode() const;
   static std::optional<FsReply> decode(std::span<const std::byte> buf);
+};
+
+/// CNK's shadow of one process's I/O state — enough to rebuild the
+/// ioproxy on a spare I/O node after a CIOD death (paper Fig 2's
+/// mirrored fd/cwd state, turned into a recovery mechanism). Sent as
+/// the payload of a kRestoreState request.
+struct ShadowSnapshot {
+  struct Fd {
+    std::int32_t fd = 0;
+    std::int32_t shareWithFd = -1;  // dup group leader, or -1
+    std::uint64_t flags = 0;        // O_TRUNC is stripped on restore
+    std::uint64_t offset = 0;
+    std::string path;               // absolute, normalized
+  };
+  std::uint32_t pid = 0;
+  std::int32_t nextFd = 3;
+  std::string cwd = "/";
+  std::vector<Fd> fds;
+
+  std::vector<std::byte> encode() const;
+  static std::optional<ShadowSnapshot> decode(
+      std::span<const std::byte> buf);
 };
 
 }  // namespace bg::io

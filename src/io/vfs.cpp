@@ -137,6 +137,36 @@ std::int64_t VfsClient::write(int fd, std::span<const std::byte> in) {
   return n;
 }
 
+std::int64_t VfsClient::preadAt(int fd, std::span<std::byte> out,
+                                std::uint64_t offset) {
+  OpenFile* f = fdGet(fd);
+  if (f == nullptr) {
+    lastLatency_ = 100;
+    return -kEBADF;
+  }
+  const std::int64_t n = f->backend->pread(f->handle, out, offset);
+  lastLatency_ = f->backend->opLatency(FsOpKind::kRead,
+                                       n > 0 ? static_cast<std::uint64_t>(n) : 0,
+                                       engine_.now());
+  if (n >= 0) f->offset = offset + static_cast<std::uint64_t>(n);
+  return n;
+}
+
+std::int64_t VfsClient::pwriteAt(int fd, std::span<const std::byte> in,
+                                 std::uint64_t offset) {
+  OpenFile* f = fdGet(fd);
+  if (f == nullptr) {
+    lastLatency_ = 100;
+    return -kEBADF;
+  }
+  const std::int64_t n = f->backend->pwrite(f->handle, in, offset);
+  lastLatency_ = f->backend->opLatency(FsOpKind::kWrite,
+                                       n > 0 ? static_cast<std::uint64_t>(n) : 0,
+                                       engine_.now());
+  if (n >= 0) f->offset = offset + static_cast<std::uint64_t>(n);
+  return n;
+}
+
 std::int64_t VfsClient::lseek(int fd, std::int64_t offset,
                               std::uint64_t whence) {
   OpenFile* f = fdGet(fd);
@@ -195,6 +225,28 @@ std::int64_t VfsClient::dup(int fd) {
   const int nfd = fdAlloc();
   fds_[nfd] = it->second;  // shared description: offset and handle
   return nfd;
+}
+
+std::int64_t VfsClient::restoreFd(int fd, const std::string& path,
+                                  std::uint64_t flags, std::uint64_t offset,
+                                  int shareWithFd) {
+  if (fds_.count(fd) != 0) return -kEBADF;
+  if (shareWithFd >= 0) {
+    auto it = fds_.find(shareWithFd);
+    if (it == fds_.end()) return -kEBADF;
+    fds_[fd] = it->second;
+    return fd;
+  }
+  auto res = vfs_.resolve(normalizePath(path));
+  if (!res) return -kENOENT;
+  // Strip O_TRUNC: the file's contents are the survivor's state, not
+  // something to re-truncate on every failover.
+  const std::uint64_t openFlags = flags & ~kernel::kOTrunc;
+  const std::int64_t h = res->backend->open(res->relPath, openFlags);
+  if (h < 0) return h;
+  fds_[fd] = std::make_shared<OpenFile>(
+      OpenFile{res->backend, h, offset, openFlags});
+  return fd;
 }
 
 std::int64_t VfsClient::chdir(const std::string& path) {

@@ -89,6 +89,14 @@ class VfsClient {
   std::int64_t close(int fd);
   std::int64_t read(int fd, std::span<std::byte> out);
   std::int64_t write(int fd, std::span<const std::byte> in);
+  /// Positioned variants: operate at an explicit offset and leave the
+  /// fd's offset at offset+n. The function-shipping protocol uses
+  /// these so a retransmitted read/write is idempotent — re-executing
+  /// it hits the same file range and re-produces the same state.
+  std::int64_t preadAt(int fd, std::span<std::byte> out,
+                       std::uint64_t offset);
+  std::int64_t pwriteAt(int fd, std::span<const std::byte> in,
+                        std::uint64_t offset);
   std::int64_t lseek(int fd, std::int64_t offset, std::uint64_t whence);
   std::int64_t stat(const std::string& path, FileStat* out);
   std::int64_t unlink(const std::string& path);
@@ -104,6 +112,23 @@ class VfsClient {
   std::string absolutize(const std::string& path) const;
 
   int openFdCount() const { return static_cast<int>(fds_.size()); }
+  /// Current seek offset of an open fd (nullopt when fd is not open).
+  std::optional<std::uint64_t> offsetOf(int fd) const {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return std::nullopt;
+    return it->second->offset;
+  }
+
+  // --- failover restore (CIOD rebuilding an ioproxy from CNK's
+  // shadow state; see io/ciod.cpp) ---
+  /// Recreate `fd` at its exact number by reopening `path`, or — when
+  /// shareWithFd >= 0 — by sharing that fd's open file description
+  /// (a dup group). Returns fd on success or -errno.
+  std::int64_t restoreFd(int fd, const std::string& path,
+                         std::uint64_t flags, std::uint64_t offset,
+                         int shareWithFd);
+  void setCwd(std::string cwd) { cwd_ = std::move(cwd); }
+  void setNextFd(int next) { nextFd_ = next; }
 
  private:
   /// Shared "open file description": dup'd fds share the offset, and

@@ -38,6 +38,8 @@ struct RasEvent {
     kJobLoaded,
     kJobExited,
     kNodeFailure,    // the whole node is lost (injected or diagnosed)
+    kIoTimeout,      // a shipped I/O syscall gave up (EIO to the app)
+    kIoNodeDead,     // timeout storm: this node's I/O node is gone
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -60,6 +62,8 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
     case RasEvent::Code::kJobLoaded:
     case RasEvent::Code::kJobExited:
       return RasEvent::Severity::kInfo;
+    case RasEvent::Code::kIoTimeout:
+      return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
       return RasEvent::Severity::kFatal;
     default:

@@ -54,6 +54,7 @@ enum class Sys : std::int64_t {
 
 // ---- errno (returned as negative values, Linux-style) ----
 inline constexpr std::int64_t kENOENT = 2;
+inline constexpr std::int64_t kEIO = 5;
 inline constexpr std::int64_t kEBADF = 9;
 inline constexpr std::int64_t kEAGAIN = 11;
 inline constexpr std::int64_t kENOMEM = 12;

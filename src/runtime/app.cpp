@@ -9,10 +9,13 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   mc.computeNodes = cfg_.computeNodes;
   mc.ioNodes = cfg_.ioNodes;
   mc.computeNodesPerIoNode = cfg_.computeNodesPerIoNode;
+  mc.spareIoNodes = cfg_.spareIoNodes;
   mc.node = cfg_.node;
   mc.torus = cfg_.torus;
   mc.collective = cfg_.collective;
   mc.barrier = cfg_.barrier;
+  mc.collectiveFaults = cfg_.collectiveFaults;
+  mc.torusFaults = cfg_.torusFaults;
   mc.seed = cfg_.seed;
   machine_ = std::make_unique<hw::Machine>(mc);
 
@@ -69,6 +72,55 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::rehomePset(int ioIdx, int netId) {
+  for (int n = 0; n < machine_->numComputeNodes(); ++n) {
+    if (machine_->ioNodeIndexFor(n) != ioIdx) continue;
+    if (auto* c = cnkOn(n)) c->fship().rehome(netId);
+  }
+}
+
+int Cluster::failoverIoNode(int ioIdx) {
+  if (ioIdx < 0 || ioIdx >= machine_->numIoNodes()) return -1;
+  if (nextSpareIo_ >= machine_->numSpareIoNodes()) return -1;
+  hw::Node& spare = machine_->spareIoNode(nextSpareIo_++);
+  auto& slot = ciods_[static_cast<std::size_t>(ioIdx)];
+  // crash() BEFORE constructing the replacement: ~Ciod detaches its
+  // network handler, and on a shared node that would tear down the
+  // newcomer's registration. (Here the nodes differ, but keep the
+  // invariant uniform with rebootIoNode.)
+  slot->crash();
+  retiredCiodStats_ += slot->stats();
+  slot = std::make_unique<io::Ciod>(
+      spare, *ioVfs_[static_cast<std::size_t>(ioIdx)]);
+  rehomePset(ioIdx, spare.id());
+  return spare.id();
+}
+
+void Cluster::rebootIoNode(int ioIdx) {
+  if (ioIdx < 0 || ioIdx >= machine_->numIoNodes()) return;
+  auto& slot = ciods_[static_cast<std::size_t>(ioIdx)];
+  slot->crash();
+  retiredCiodStats_ += slot->stats();
+  hw::Node& node = slot->ioNode();
+  slot = std::make_unique<io::Ciod>(
+      node, *ioVfs_[static_cast<std::size_t>(ioIdx)]);
+  rehomePset(ioIdx, node.id());
+}
+
+cnk::FshipStats Cluster::fshipTotals() {
+  cnk::FshipStats total;
+  for (int n = 0; n < machine_->numComputeNodes(); ++n) {
+    if (auto* c = cnkOn(n)) total += c->fship().stats();
+  }
+  return total;
+}
+
+io::CiodStats Cluster::ciodTotals() const {
+  io::CiodStats total = retiredCiodStats_;
+  for (const auto& c : ciods_) total += c->stats();
+  return total;
+}
 
 bool Cluster::bootAll(std::uint64_t maxEvents) {
   for (auto& k : kernels_) k->boot();

@@ -33,6 +33,8 @@ struct ClusterConfig {
   int computeNodes = 1;
   int ioNodes = 1;
   int computeNodesPerIoNode = 64;  // pset size
+  /// Cold spare I/O nodes for CIOD failover (failoverIoNode()).
+  int spareIoNodes = 0;
   KernelKind kernel = KernelKind::kCnk;
   /// Per-node kernel override for heterogeneous machines (MultiK-style
   /// specialized kernels side by side). Node n runs nodeKernels[n];
@@ -49,6 +51,10 @@ struct ClusterConfig {
   msg::DcmfConfig dcmf;
   msg::MpiConfig mpi;
   msg::ArmciConfig armci;
+  /// Seeded link-fault injection; all-zero rates (the default) draw no
+  /// random numbers and leave every schedule bit-identical.
+  hw::LinkFaultRates collectiveFaults;
+  hw::LinkFaultRates torusFaults;
   std::uint64_t seed = 42;
 };
 
@@ -80,6 +86,25 @@ class Cluster {
   io::Ciod& ciod(int i) { return *ciods_[i]; }
   io::RamFs& ioRootFs(int i) { return *ioRoot_[i]; }
   io::NfsSim& ioNfs(int i) { return *ioNfs_[i]; }
+
+  /// Fail over pset `ioIdx`'s CIOD to the next cold spare: the old
+  /// daemon fail-stops, a fresh CIOD on the spare node (bound to the
+  /// same filesystem — it is the "shared" storage) takes over, and
+  /// every CNK in the pset re-homes, restoring its ioproxies from
+  /// shadow state and completing in-flight syscalls. Returns the new
+  /// I/O node net id, or -1 when no spare is left.
+  int failoverIoNode(int ioIdx);
+  /// Repair-in-place: restart CIOD on the same (crashed) I/O node and
+  /// re-home the pset to it. The no-spare recovery path.
+  void rebootIoNode(int ioIdx);
+  int sparesUsed() const { return nextSpareIo_; }
+
+  /// Sum of every CNK kernel's function-shipping reliability counters
+  /// (benches report these next to CIOD's own).
+  cnk::FshipStats fshipTotals();
+  /// Sum over all CIODs that served this run, including crashed and
+  /// replaced instances (their counters are folded in at replacement).
+  io::CiodStats ciodTotals() const;
 
   msg::MsgWorld& world() { return world_; }
   msg::Dcmf& dcmf() { return *dcmf_; }
@@ -117,6 +142,8 @@ class Cluster {
   int worldSize() const { return world_.size(); }
 
  private:
+  void rehomePset(int ioIdx, int netId);
+
   ClusterConfig cfg_;
   std::unique_ptr<hw::Machine> machine_;
   std::vector<std::unique_ptr<kernel::KernelBase>> kernels_;
@@ -125,6 +152,8 @@ class Cluster {
   std::vector<std::shared_ptr<io::RamFs>> ioRoot_;
   std::vector<std::shared_ptr<io::NfsSim>> ioNfs_;
   std::vector<std::unique_ptr<io::Ciod>> ciods_;
+  int nextSpareIo_ = 0;
+  io::CiodStats retiredCiodStats_;  // counters of replaced daemons
   msg::MsgWorld world_;
   std::unique_ptr<msg::Dcmf> dcmf_;
   std::unique_ptr<msg::Mpi> mpi_;

@@ -77,6 +77,8 @@ void SvcCheckpoint::encode(sim::ByteWriter& w) const {
   w.u64(retries);
   w.u64(failures);
   w.u64(predictiveDrains);
+  w.u64(ioFailovers);
+  w.u64(ioReboots);
   w.u64(firstSubmit);
   w.u64(lastEnd);
   w.u64(pumpDue);
@@ -110,6 +112,8 @@ bool SvcCheckpoint::decode(sim::ByteReader& r) {
   retries = r.u64();
   failures = r.u64();
   predictiveDrains = r.u64();
+  ioFailovers = r.u64();
+  ioReboots = r.u64();
   firstSubmit = r.u64();
   lastEnd = r.u64();
   pumpDue = r.u64();

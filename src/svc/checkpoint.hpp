@@ -48,6 +48,8 @@ struct SvcCheckpoint {
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;
   std::uint64_t predictiveDrains = 0;
+  std::uint64_t ioFailovers = 0;  // CIOD deaths resolved onto a spare
+  std::uint64_t ioReboots = 0;    // CIOD deaths repaired in place
   sim::Cycle firstSubmit = 0;
   sim::Cycle lastEnd = 0;
   /// Absolute cycle the next control-loop pump was scheduled for;

@@ -31,6 +31,8 @@ struct SvcMetrics {
   double utilization = 0;  // busy node-cycles / (nodes * elapsed)
   std::uint64_t nodeFailures = 0;
   std::uint64_t predictiveDrains = 0;  // warn-storm drains before fatal
+  std::uint64_t ioFailovers = 0;       // CIOD deaths re-homed to a spare
+  std::uint64_t ioReboots = 0;         // CIOD deaths repaired in place
 
   // Control-plane failover (filled by ServiceHost).
   std::uint64_t serviceCrashes = 0;
@@ -64,6 +66,8 @@ struct SvcMetrics {
     j.set("utilization", utilization);
     j.set("node_failures", nodeFailures);
     j.set("predictive_drains", predictiveDrains);
+    j.set("io_failovers", ioFailovers);
+    j.set("io_reboots", ioReboots);
     sim::Json fo = sim::Json::object();
     fo.set("service_crashes", serviceCrashes);
     fo.set("service_restarts", serviceRestarts);

@@ -77,6 +77,9 @@ std::size_t RasAggregator::poll(sim::Cycle now) {
       if (e.severity == kernel::RasEvent::Severity::kFatal && onFatal_) {
         onFatal_(src.node, e);
       }
+      if (e.code == kernel::RasEvent::Code::kIoNodeDead && onIoDead_) {
+        onIoDead_(src.node, e);
+      }
     }
     // Events the kernel ring dropped between polls never appear in the
     // loop above; the seq-based cursor steps over the gap and

@@ -71,6 +71,13 @@ class RasAggregator {
   using WarnStormHandler = std::function<void(int node, sim::Cycle cycle)>;
   void setWarnStormHandler(WarnStormHandler f) { onWarnStorm_ = std::move(f); }
 
+  /// Called during poll() for every kIoNodeDead event seen (stored or
+  /// throttled) — a compute node declaring its I/O node lost to a
+  /// timeout storm. The service node reacts with CIOD failover (spare)
+  /// or drain + reboot (no spare).
+  using IoDeadHandler = std::function<void(int node, const kernel::RasEvent&)>;
+  void setIoDeadHandler(IoDeadHandler f) { onIoDead_ = std::move(f); }
+
   /// Fault injection: report a fatal kNodeFailure against `node`'s
   /// kernel; the next poll() routes it like any other fatal event.
   void injectNodeFailure(int node, std::uint64_t detail);
@@ -119,7 +126,7 @@ class RasAggregator {
     std::uint32_t inWindow = 0;
   };
 
-  static constexpr std::size_t kNumCodes = 6;
+  static constexpr std::size_t kNumCodes = 8;
   static constexpr std::size_t kNumSeverities = 4;
 
   bool admit(const kernel::RasEvent& e);
@@ -136,6 +143,7 @@ class RasAggregator {
   std::uint64_t streamDropped_ = 0;
   FatalHandler onFatal_;
   WarnStormHandler onWarnStorm_;
+  IoDeadHandler onIoDead_;
 };
 
 }  // namespace bg::svc

@@ -22,7 +22,9 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
       policy_(makePolicy(cfg.policy)),
       store_(store),
       alive_(std::make_shared<bool>(true)),
-      nodeOps_(static_cast<std::size_t>(parts_.size())) {
+      nodeOps_(static_cast<std::size_t>(parts_.size())),
+      ioRepairPending_(
+          static_cast<std::size_t>(cluster.machine().numIoNodes()), 0) {
   for (int n = 0; n < parts_.size(); ++n) {
     ras_.attach(n, &cluster_.kernelOn(n));
   }
@@ -30,6 +32,8 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
       [this](int node, const kernel::RasEvent& e) { onNodeFatal(node, e); });
   ras_.setWarnStormHandler(
       [this](int node, sim::Cycle cycle) { onWarnStorm(node, cycle); });
+  ras_.setIoDeadHandler(
+      [this](int node, const kernel::RasEvent& e) { onIoNodeDead(node, e); });
 }
 
 ServiceNode::~ServiceNode() = default;
@@ -343,6 +347,79 @@ void ServiceNode::onWarnStorm(int node, sim::Cycle cycle) {
   }
 }
 
+void ServiceNode::onIoNodeDead(int node, const kernel::RasEvent& e) {
+  (void)e;
+  const int ioIdx = cluster_.machine().ioNodeIndexFor(node);
+  // Every kernel in the pset raises its own kIoNodeDead; only the
+  // first report of a given death acts. A live (already-replaced)
+  // daemon means the storm is stale.
+  if (ioRepairPending_[static_cast<std::size_t>(ioIdx)] != 0) return;
+  if (!cluster_.ciod(ioIdx).crashed()) return;
+  const sim::Cycle now = engine().now();
+
+  const int newNetId = cluster_.failoverIoNode(ioIdx);
+  if (newNetId >= 0) {
+    // A cold spare took over: the pset's kernels re-homed, rebuilt
+    // their ioproxies from shadow state, and their in-flight syscalls
+    // complete on the spare. Jobs never notice.
+    ++ioFailovers_;
+    note("io_failover", 0, now, {node});
+    schedulePump();
+    checkpointWriteThrough();
+    return;
+  }
+
+  // No spare left: jobs touching this pset cannot make I/O progress.
+  // Requeue them through the bounded-retry path, park the pset's
+  // compute nodes, and repair the CIOD in place. The repair event is
+  // scheduled *first* so that at the shared deadline the daemon is
+  // back before any node finishes rebooting.
+  ++ioReboots_;
+  ioRepairPending_[static_cast<std::size_t>(ioIdx)] = 1;
+  note("io_dead", 0, now, {node});
+  const sim::Cycle due = now + cfg_.repairCycles;
+  engine().scheduleAt(due, guarded([this, ioIdx] { repairIoNode(ioIdx); }));
+
+  std::vector<JobId> victims;
+  for (int n = 0; n < parts_.size(); ++n) {
+    if (cluster_.machine().ioNodeIndexFor(n) != ioIdx) continue;
+    const NodeLifecycle st = parts_.state(n);
+    if (st == NodeLifecycle::kRunning) {
+      const JobId id = parts_.jobOn(n);
+      if (id != 0 &&
+          std::find(victims.begin(), victims.end(), id) == victims.end()) {
+        victims.push_back(id);
+      }
+      killUserThreadsOn(n);
+      parts_.markDown(n, now);
+      scheduleRepairDone(n, due);
+    } else if (st == NodeLifecycle::kReady) {
+      parts_.markDown(n, now);
+      scheduleRepairDone(n, due);
+    }
+  }
+  for (JobId id : victims) {
+    JobRecord* jr = find(id);
+    if (jr == nullptr || jr->state != JobState::kRunning) continue;
+    runningIds_.erase(
+        std::remove(runningIds_.begin(), runningIds_.end(), id),
+        runningIds_.end());
+    // Nodes the job held outside the dead pset only need a drain.
+    drainHeldNodes(*jr, now, -1);
+    requeueOrFail(*jr, now);
+  }
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::repairIoNode(int ioIdx) {
+  ioRepairPending_[static_cast<std::size_t>(ioIdx)] = 0;
+  if (cluster_.ciod(ioIdx).crashed()) cluster_.rebootIoNode(ioIdx);
+  note("io_reboot", 0, engine().now(), {ioIdx});
+  schedulePump();
+  checkpointWriteThrough();
+}
+
 void ServiceNode::killUserThreadsOn(int node) {
   kernel::KernelBase& k = cluster_.kernelOn(node);
   for (auto& p : k.processes()) {
@@ -420,6 +497,8 @@ SvcCheckpoint ServiceNode::buildCheckpoint() {
   ck.retries = retries_;
   ck.failures = failures_;
   ck.predictiveDrains = predictiveDrains_;
+  ck.ioFailovers = ioFailovers_;
+  ck.ioReboots = ioReboots_;
   ck.firstSubmit = firstSubmit_;
   ck.lastEnd = lastEnd_;
   ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
@@ -501,6 +580,8 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   retries_ = ck.retries;
   failures_ = ck.failures;
   predictiveDrains_ = ck.predictiveDrains;
+  ioFailovers_ = ck.ioFailovers;
+  ioReboots_ = ck.ioReboots;
   firstSubmit_ = ck.firstSubmit;
   lastEnd_ = ck.lastEnd;
   hash_.restore(ck.scheduleHash);
@@ -592,6 +673,24 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
     if (parts_.state(n) == NodeLifecycle::kBooting) watchOrphanBoot(n);
   }
 
+  // I/O daemons that died while the control plane was down — or whose
+  // scheduled in-place repair died with the crashed instance — are
+  // re-handled now: spare failover when one is left, otherwise an
+  // immediate reboot (the outage itself was the repair window; jobs
+  // that wedged on the dead daemon were requeued by the lease check).
+  for (int i = 0; i < cluster_.machine().numIoNodes(); ++i) {
+    if (!cluster_.ciod(i).crashed()) continue;
+    const int netId = cluster_.failoverIoNode(i);
+    if (netId >= 0) {
+      ++ioFailovers_;
+      note("io_failover", 0, now, {});
+    } else {
+      cluster_.rebootIoNode(i);
+      ++ioReboots_;
+      note("io_reboot", 0, now, {i});
+    }
+  }
+
   // Resume the control loop on the checkpointed pump grid: an outage
   // longer than one poll interval skips forward whole intervals, so
   // post-restart pumps land on exactly the cycles the dead instance's
@@ -665,6 +764,8 @@ SvcMetrics ServiceNode::metrics() {
   }
   m.nodeFailures = failures_;
   m.predictiveDrains = predictiveDrains_;
+  m.ioFailovers = ioFailovers_;
+  m.ioReboots = ioReboots_;
   using Sev = kernel::RasEvent::Severity;
   m.rasInfo = ras_.countBySeverity(Sev::kInfo);
   m.rasWarn = ras_.countBySeverity(Sev::kWarn);

@@ -125,6 +125,10 @@ class ServiceNode {
   RasAggregator& ras() { return ras_; }
   const SchedulerPolicy& policy() const { return *policy_; }
   std::uint64_t predictiveDrains() const { return predictiveDrains_; }
+  /// CIOD deaths resolved by re-homing the pset onto a spare I/O node
+  /// (jobs keep running) vs. repaired in place (jobs requeued).
+  std::uint64_t ioFailovers() const { return ioFailovers_; }
+  std::uint64_t ioReboots() const { return ioReboots_; }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
@@ -152,6 +156,11 @@ class ServiceNode {
   void finishJob(JobRecord& jr, bool ok, std::int64_t status);
   void onNodeFatal(int node, const kernel::RasEvent& e);
   void onWarnStorm(int node, sim::Cycle cycle);
+  /// A compute node's kernel declared its I/O node dead (timeout
+  /// storm). Fail over to a spare when one is left; otherwise requeue
+  /// the pset's jobs, park its nodes, and repair the CIOD in place.
+  void onIoNodeDead(int node, const kernel::RasEvent& e);
+  void repairIoNode(int ioIdx);
   /// Take the job off a lost/draining partition and requeue it (or
   /// fail it once retries are exhausted). Shared by the fatal path,
   /// predictive drain, and restart reconciliation.
@@ -203,6 +212,11 @@ class ServiceNode {
   std::uint64_t retries_ = 0;
   std::uint64_t failures_ = 0;  // node failures handled
   std::uint64_t predictiveDrains_ = 0;
+  std::uint64_t ioFailovers_ = 0;
+  std::uint64_t ioReboots_ = 0;
+  /// Per-primary-I/O-node flag: an in-place repair is scheduled, so
+  /// further kIoNodeDead reports for the same death are duplicates.
+  std::vector<char> ioRepairPending_;
   sim::Cycle firstSubmit_ = 0;
   sim::Cycle lastEnd_ = 0;
 };

@@ -13,6 +13,13 @@
 //    hardware faults keep happening while the control system is down.
 //  - kWarnStorm: burst of kWarn machine-checks on one node's kernel —
 //    the signature the predictive-drain window is tuned to catch.
+//  - kIoDeath:   fail-stop a pset's CIOD. Nothing is reported directly:
+//    detection happens the honest way, through the compute kernels'
+//    fship watchdogs timing out and declaring kIoNodeDead, which the
+//    service node's RAS sweep then turns into failover or an in-place
+//    repair. Clusters armed with these need tight fship timeouts and
+//    at least some I/O-performing jobs, or the death goes unnoticed
+//    (which is also a valid outcome the invariants must survive).
 //
 // The harness only pokes the control loop when one is alive; faults
 // landing during an outage sit in the kernel logs until the restarted
@@ -29,10 +36,15 @@
 namespace bg::testing {
 
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kSvcCrash, kNodeDeath, kWarnStorm };
+  enum class Kind : std::uint8_t {
+    kSvcCrash,
+    kNodeDeath,
+    kWarnStorm,
+    kIoDeath,
+  };
   Kind kind = Kind::kNodeDeath;
   sim::Cycle atCycle = 0;
-  int node = -1;              // kNodeDeath / kWarnStorm target
+  int node = -1;              // target: node, or I/O index for kIoDeath
   sim::Cycle downCycles = 0;  // kSvcCrash outage length
   int count = 0;              // kWarnStorm: warns in the burst
 };
@@ -51,13 +63,21 @@ class FaultSchedule {
     events_.push_back({FaultEvent::Kind::kWarnStorm, at, node, 0, count});
     return *this;
   }
+  FaultSchedule& ioDeath(int ioIdx, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kIoDeath, at, ioIdx, 0, 0});
+    return *this;
+  }
 
   /// Seeded mixed schedule over [0, horizon): `crashes` control-plane
-  /// outages, `deaths` node losses, `storms` warn bursts, spread over
-  /// the machine by an Rng stream independent of the job stream's.
+  /// outages, `deaths` node losses, `storms` warn bursts, `ioDeaths`
+  /// CIOD fail-stops over `ioNodes` psets, spread over the machine by
+  /// an Rng stream independent of the job stream's. The defaulted
+  /// trailing parameters draw nothing, so schedules built by older
+  /// callers replay unchanged.
   static FaultSchedule random(std::uint64_t seed, int nodes,
                               sim::Cycle horizon, int crashes, int deaths,
-                              int storms) {
+                              int storms, int ioDeaths = 0,
+                              int ioNodes = 1) {
     sim::Rng rng(seed, "fault-schedule");
     FaultSchedule fs;
     for (int i = 0; i < crashes; ++i) {
@@ -74,6 +94,11 @@ class FaultSchedule {
                        static_cast<std::uint64_t>(nodes))),
                    1 + rng.nextBelow(horizon),
                    6 + static_cast<int>(rng.nextBelow(6)));
+    }
+    for (int i = 0; i < ioDeaths; ++i) {
+      fs.ioDeath(static_cast<int>(rng.nextBelow(
+                     static_cast<std::uint64_t>(ioNodes))),
+                 1 + rng.nextBelow(horizon));
     }
     return fs;
   }
@@ -105,6 +130,14 @@ class FaultSchedule {
                   static_cast<std::uint64_t>(i));
             }
             if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kIoDeath:
+          // Fail-stop only; no RAS is forged. The next I/O-performing
+          // job's timeout storm is what surfaces the death. A CIOD
+          // already down (mid-repair) is left alone.
+          eng.scheduleAt(f.atCycle, [&cluster, idx = f.node] {
+            if (!cluster.ciod(idx).crashed()) cluster.ciod(idx).crash();
           });
           break;
       }

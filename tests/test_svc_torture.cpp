@@ -1,7 +1,11 @@
 // Randomized torture of the service-node control plane: hundreds of
 // jobs with staggered arrivals under FIFO and EASY backfill, with
-// control-plane crashes, node deaths and warn storms injected at
-// seeded cycles (fault_schedule.hpp). Policy invariants checked on
+// control-plane crashes, node deaths, warn storms and CIOD fail-stops
+// injected at seeded cycles (fault_schedule.hpp). A slice of the jobs
+// performs function-shipped I/O under tight fship watchdogs, so a
+// killed CIOD is detected the honest way — timeout storms raising
+// kIoNodeDead — and the service node must requeue the pset's jobs and
+// repair the I/O node rather than wedge. Policy invariants checked on
 // every stream:
 //
 //   - no job is lost or duplicated: every submission reaches exactly
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/io_kernel.hpp"
 #include "fault_schedule.hpp"
 #include "runtime/app.hpp"
 #include "sim/rng.hpp"
@@ -58,6 +63,7 @@ struct TortureOutcome {
   std::uint64_t failed = 0;
   std::uint64_t retries = 0;
   std::uint64_t predictiveDrains = 0;
+  std::uint64_t ioReboots = 0;
   std::uint64_t crashes = 0;
   std::uint64_t coldStarts = 0;
   bool drained = false;
@@ -69,6 +75,12 @@ TortureOutcome runTorture(std::uint64_t seed, svc::SchedPolicyKind policy,
   rt::ClusterConfig cfg;
   cfg.computeNodes = kNodes;
   cfg.seed = seed;
+  // Tight fship watchdogs so a CIOD killed by the fault schedule is
+  // declared dead within one control-loop cadence instead of the
+  // (deliberately huge) fault-free defaults.
+  cfg.cnk.fship.requestTimeout = 100'000;
+  cfg.cnk.fship.maxTimeout = 400'000;
+  cfg.cnk.fship.maxRetries = 2;
   rt::Cluster cluster(cfg);
 
   svc::ServiceNodeConfig snCfg;
@@ -91,9 +103,20 @@ TortureOutcome runTorture(std::uint64_t seed, svc::SchedPolicyKind policy,
     jd.name = "t" + std::to_string(i);
     jd.kernel = rt::KernelKind::kCnk;
     jd.nodes = 1 + static_cast<int>(rng.nextBelow(3));
-    const std::uint64_t reps = 5 + rng.nextBelow(16);
-    jd.exe = workImage(jd.name, reps, 10'000);
-    jd.estCycles = reps * 10'000 + 50'000;
+    if (i % 5 == 2) {
+      // Every fifth job function-ships real I/O, so a CIOD fail-stop
+      // from the fault schedule actually produces a timeout storm.
+      apps::IoKernelParams ip;
+      ip.chunks = 2;
+      ip.chunkBytes = 2 << 10;
+      ip.computeBetween = 20'000;
+      jd.exe = apps::ioKernelImage(ip);
+      jd.estCycles = 500'000;
+    } else {
+      const std::uint64_t reps = 5 + rng.nextBelow(16);
+      jd.exe = workImage(jd.name, reps, 10'000);
+      jd.estCycles = reps * 10'000 + 50'000;
+    }
     jd.maxRetries = 2;
     arrivals.push_back({rng.nextBelow(arrivalSpan), std::move(jd)});
   }
@@ -107,7 +130,7 @@ TortureOutcome runTorture(std::uint64_t seed, svc::SchedPolicyKind policy,
 
   const testing::FaultSchedule faults = testing::FaultSchedule::random(
       seed, kNodes, arrivalSpan + 2'000'000, /*crashes=*/3, /*deaths=*/4,
-      /*storms=*/3);
+      /*storms=*/3, /*ioDeaths=*/2, /*ioNodes=*/1);
   faults.arm(cluster, host);
 
   host.start();
@@ -121,6 +144,7 @@ TortureOutcome runTorture(std::uint64_t seed, svc::SchedPolicyKind policy,
   out.failed = m.jobsFailed;
   out.retries = m.jobRetries;
   out.predictiveDrains = m.predictiveDrains;
+  out.ioReboots = m.ioReboots + m.ioFailovers;
   out.crashes = m.serviceCrashes;
   out.coldStarts = host.coldStarts();
   if (host.alive()) out.timeline = host.node().timeline();
