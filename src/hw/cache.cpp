@@ -12,9 +12,8 @@ CacheArray::CacheArray(std::uint64_t sizeBytes, std::uint32_t lineBytes,
   lines_.resize(static_cast<std::size_t>(sets_) * ways_);
 }
 
-bool CacheArray::access(PAddr pa) {
+bool CacheArray::accessSlow(std::uint64_t lineAddr) {
   ++stats_.accesses;
-  const std::uint64_t lineAddr = pa / lineBytes_;
   const std::uint32_t set = static_cast<std::uint32_t>(lineAddr % sets_);
   const std::uint64_t tag = lineAddr / sets_;
   Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
@@ -23,6 +22,8 @@ bool CacheArray::access(PAddr pa) {
     if (base[w].valid && base[w].tag == tag) {
       base[w].lastUse = useClock_;
       ++stats_.hits;
+      lastLine_ = &base[w];
+      lastLineAddr_ = lineAddr;
       return true;
     }
   }
@@ -39,10 +40,13 @@ bool CacheArray::access(PAddr pa) {
   victim->valid = true;
   victim->tag = tag;
   victim->lastUse = useClock_;
+  lastLine_ = victim;
+  lastLineAddr_ = lineAddr;
   return false;
 }
 
 void CacheArray::flushAll() {
+  lastLine_ = nullptr;
   for (Line& l : lines_) l.valid = false;
 }
 

@@ -28,7 +28,23 @@ class CacheArray {
              std::uint32_t ways);
 
   /// Returns true on hit; on miss the line is filled (evicting LRU).
-  bool access(PAddr pa);
+  ///
+  /// The header-inline fast path is a last-line hint: the hint always
+  /// points at the line touched by the most recent access (which is
+  /// therefore MRU and cannot have been evicted since), so a repeat
+  /// access to the same line skips the set walk while keeping stats
+  /// and LRU clocks bit-identical to the slow path.
+  bool access(PAddr pa) {
+    const std::uint64_t lineAddr = pa / lineBytes_;
+    if (lastLine_ != nullptr && lineAddr == lastLineAddr_) {
+      ++stats_.accesses;
+      ++useClock_;
+      lastLine_->lastUse = useClock_;
+      ++stats_.hits;
+      return true;
+    }
+    return accessSlow(lineAddr);
+  }
 
   /// Invalidate everything (used by the reproducible-reset path, which
   /// flushes all caches to DDR before toggling reset — paper §III).
@@ -44,11 +60,16 @@ class CacheArray {
     bool valid = false;
     std::uint64_t lastUse = 0;
   };
+
+  bool accessSlow(std::uint64_t lineAddr);
+
   std::uint32_t lineBytes_;
   std::uint32_t ways_;
   std::uint32_t sets_;
   std::uint64_t useClock_ = 0;
   std::vector<Line> lines_;  // sets_ * ways_
+  Line* lastLine_ = nullptr;        // line touched by the last access
+  std::uint64_t lastLineAddr_ = 0;  // its line address (pa / lineBytes_)
   CacheStats stats_;
 };
 

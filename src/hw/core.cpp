@@ -36,7 +36,7 @@ void Core::kick() {
   // concurrent slice stream for the core (time compression).
   if (inSlice_ || sliceScheduled_) return;
   sliceScheduled_ = true;
-  node_.engine().schedule(0, [this] { runSlice(); });
+  node_.engine().scheduleTask(0, &sliceTask_);
 }
 
 void Core::raise(Irq irq) {
@@ -45,21 +45,46 @@ void Core::raise(Irq irq) {
 }
 
 void Core::setDecrementer(sim::Cycle delay) {
-  if (decEvent_ != 0) {
-    node_.engine().cancel(decEvent_);
-    decEvent_ = 0;
+  if (delay == 0) {
+    decDeadline_ = 0;
+    if (decEvent_ != 0) {
+      node_.engine().cancel(decEvent_);
+      decEvent_ = 0;
+    }
+    return;
   }
-  if (delay == 0) return;
-  decEvent_ = node_.engine().schedule(delay, [this] {
-    decEvent_ = 0;
-    raise(Irq::kDecrementer);
-  });
+  decDeadline_ = node_.engine().now() + delay;
+  if (decEvent_ != 0) {
+    // Re-arm to a deadline at or past the outstanding event: keep the
+    // event. It fires (possibly early) and decFired() re-arms for the
+    // remainder, so a tick handler that pushes the deadline out does
+    // not pay a cancel+schedule pair per re-arm.
+    if (decEventAt_ <= decDeadline_) return;
+    node_.engine().cancel(decEvent_);
+  }
+  decEvent_ = node_.engine().scheduleTask(delay, &decTask_);
+  decEventAt_ = decDeadline_;
+}
+
+void Core::decFired() {
+  decEvent_ = 0;
+  if (decDeadline_ == 0) return;  // disarmed after the event was queued
+  const sim::Cycle now = node_.engine().now();
+  if (now < decDeadline_) {
+    // Deadline was pushed later while we were in flight; sleep out the
+    // remainder.
+    decEvent_ = node_.engine().scheduleTask(decDeadline_ - now, &decTask_);
+    decEventAt_ = decDeadline_;
+    return;
+  }
+  decDeadline_ = 0;
+  raise(Irq::kDecrementer);
 }
 
 void Core::scheduleSlice(sim::Cycle delay) {
   if (sliceScheduled_) return;
   sliceScheduled_ = true;
-  node_.engine().schedule(delay, [this] { runSlice(); });
+  node_.engine().scheduleTask(delay, &sliceTask_);
 }
 
 sim::Cycle Core::lineCost(PAddr pa, sim::Cycle atRelativeCost) {
@@ -130,14 +155,14 @@ Core::TouchOutcome Core::memTouch(ThreadCtx& t, VAddr va,
 }
 
 sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
-  if (!t.prog || !t.prog->valid(t.pc)) {
+  if (t.prog == nullptr || t.pc >= t.prog->size()) {
     // Running off the end of a program is a bug in the workload;
     // treat as a fault so the kernel can kill the thread cleanly.
     sim::Cycle c = node_.kernel()->onFault(*this, t, FaultKind::kSegv, t.pc);
     *stop = true;
     return c;
   }
-  const vm::Instr& in = t.prog->at(t.pc);
+  const vm::DecodedInstr& in = t.prog->decoded()[t.pc];
   std::uint64_t* r = t.regs;
   ++t.instrRetired;
   sim::Cycle c = 0;
@@ -149,7 +174,7 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
       c = kAluCost;
       break;
     case Op::kLi:
-      r[in.rd] = static_cast<std::uint64_t>(in.imm);
+      r[in.rd] = in.uimm;
       c = kAluCost;
       break;
     case Op::kMov:
@@ -161,7 +186,7 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
       c = kAluCost;
       break;
     case Op::kAddi:
-      r[in.rd] = r[in.ra] + static_cast<std::uint64_t>(in.imm);
+      r[in.rd] = r[in.ra] + in.uimm;
       c = kAluCost;
       break;
     case Op::kSub:
@@ -185,44 +210,44 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
       c = kAluCost;
       break;
     case Op::kShl:
-      r[in.rd] = r[in.ra] << (in.imm & 63);
+      r[in.rd] = r[in.ra] << (in.uimm & 63);
       c = kAluCost;
       break;
     case Op::kShr:
-      r[in.rd] = r[in.ra] >> (in.imm & 63);
+      r[in.rd] = r[in.ra] >> (in.uimm & 63);
       c = kAluCost;
       break;
     case Op::kJump:
-      t.pc = static_cast<std::uint64_t>(in.imm);
+      t.pc = in.uimm;
       advance = false;
       c = kBranchCost;
       break;
     case Op::kBeqz:
       if (r[in.ra] == 0) {
-        t.pc = static_cast<std::uint64_t>(in.imm);
+        t.pc = in.uimm;
         advance = false;
       }
       c = kBranchCost;
       break;
     case Op::kBnez:
       if (r[in.ra] != 0) {
-        t.pc = static_cast<std::uint64_t>(in.imm);
+        t.pc = in.uimm;
         advance = false;
       }
       c = kBranchCost;
       break;
     case Op::kBlt:
       if (r[in.ra] < r[in.rb]) {
-        t.pc = static_cast<std::uint64_t>(in.imm);
+        t.pc = in.uimm;
         advance = false;
       }
       c = kBranchCost;
       break;
     case Op::kCompute:
-      c = static_cast<sim::Cycle>(in.imm);
+      c = static_cast<sim::Cycle>(in.uimm);
       break;
     case Op::kMemTouch: {
-      const VAddr va = r[in.ra] + static_cast<std::uint64_t>(in.imm);
+      const VAddr va = r[in.ra] + in.uimm;
       TouchOutcome o =
           memTouch(t, va, in.a, in.b, (in.flags & vm::kMemTouchWrite) != 0);
       c = o.cost + kAluCost;
@@ -235,7 +260,7 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
       break;
     }
     case Op::kLoad: {
-      const VAddr va = r[in.ra] + static_cast<std::uint64_t>(in.imm);
+      const VAddr va = r[in.ra] + in.uimm;
       AccessOutcome a = dataAccess(t, va, 8, Access::kRead);
       c = a.cost + kLoadStoreCost;
       if (a.ok) {
@@ -247,7 +272,7 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
       break;
     }
     case Op::kStore: {
-      const VAddr va = r[in.ra] + static_cast<std::uint64_t>(in.imm);
+      const VAddr va = r[in.ra] + in.uimm;
       AccessOutcome a = dataAccess(t, va, 8, Access::kWrite);
       c = a.cost + kLoadStoreCost;
       if (a.ok) {

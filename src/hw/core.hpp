@@ -88,8 +88,24 @@ class Core {
   std::uint64_t scanHash() const;
 
  private:
+  // Persistent sim::Task objects for the two recurring events a core
+  // generates (its run slice and its decrementer): re-arming schedules
+  // the same object again, so the hot slice loop never constructs a
+  // closure.
+  struct SliceTask final : sim::Task {
+    explicit SliceTask(Core* c) : core(c) {}
+    void run() override { core->runSlice(); }
+    Core* core;
+  };
+  struct DecTask final : sim::Task {
+    explicit DecTask(Core* c) : core(c) {}
+    void run() override { core->decFired(); }
+    Core* core;
+  };
+
   void runSlice();
   void scheduleSlice(sim::Cycle delay);
+  void decFired();
   /// Execute one instruction of t; returns cost; sets *stop when the
   /// slice must end (trap, block, halt, fault).
   sim::Cycle execOne(ThreadCtx& t, bool* stop);
@@ -105,7 +121,11 @@ class Core {
   bool inSlice_ = false;
   sim::Cycle sliceCost_ = 0;  // cost accumulated in the slice in progress
   sim::Cycle quantum_ = 4000;
+  SliceTask sliceTask_{this};
+  DecTask decTask_{this};
   sim::EventId decEvent_ = 0;
+  sim::Cycle decDeadline_ = 0;  // absolute cycle the decrementer expires; 0 = off
+  sim::Cycle decEventAt_ = 0;   // fire time of the outstanding dec event
   std::uint64_t cyclesBusy_ = 0;
   std::uint64_t slicesRun_ = 0;
 };

@@ -2,24 +2,46 @@
 
 namespace bg::hw {
 
-TlbResult Mmu::translate(std::uint32_t pid, VAddr va, Access access,
-                         Translation* out) {
-  for (const TlbEntry& e : tlb_) {
-    if (e.covers(pid, va)) {
-      if (!permAllows(e.perms, access)) return TlbResult::kPermFault;
-      ++hits_;
-      if (out != nullptr) {
-        out->paddr = e.paddr + (va - e.vaddr);
-        out->perms = e.perms;
-      }
-      return TlbResult::kHit;
+TlbResult Mmu::translateSlow(std::uint32_t pid, VAddr va, Access access,
+                             Translation* out) {
+  for (std::size_t i = 0; i < tlb_.size(); ++i) {
+    const TlbEntry& e = tlb_[i];
+    if (!e.covers(pid, va)) continue;
+    if (!permAllows(e.perms, access)) return TlbResult::kPermFault;
+    ++hits_;
+    if (out != nullptr) {
+      out->paddr = e.paddr + (va - e.vaddr);
+      out->perms = e.perms;
     }
+    // Fill the micro-TLB only when no earlier slot overlaps this
+    // entry's range. Lookup returns the *first* covering slot, so an
+    // earlier overlapping slot could win for other addresses inside
+    // this page; caching it would change which entry serves them.
+    bool unique = true;
+    for (std::size_t j = 0; j < i; ++j) {
+      const TlbEntry& o = tlb_[j];
+      if (o.valid && o.pid == e.pid && o.vaddr < e.vaddr + e.size &&
+          e.vaddr < o.vaddr + o.size) {
+        unique = false;
+        break;
+      }
+    }
+    if (unique) {
+      microValid_ = true;
+      microPerms_ = e.perms;
+      microPid_ = e.pid;
+      microVa_ = e.vaddr;
+      microPa_ = e.paddr;
+      microSize_ = e.size;
+    }
+    return TlbResult::kHit;
   }
   ++misses_;
   return TlbResult::kMiss;
 }
 
 int Mmu::install(const TlbEntry& entry) {
+  microValid_ = false;
   // Prefer replacing an existing entry that maps the same page.
   for (std::size_t i = 0; i < tlb_.size(); ++i) {
     TlbEntry& e = tlb_[i];
@@ -42,6 +64,7 @@ int Mmu::install(const TlbEntry& entry) {
 }
 
 void Mmu::invalidate(std::uint32_t pid) {
+  microValid_ = false;
   for (TlbEntry& e : tlb_) {
     if (pid == 0 || e.pid == pid) e.valid = false;
   }

@@ -59,8 +59,25 @@ class Mmu {
 
   /// Look up a translation. On kHit, *out is filled. Updates round-robin
   /// reference info for replacement.
+  ///
+  /// The header-inline fast path is a 1-entry micro-TLB holding the
+  /// last page whose hit is provably order-independent (no earlier TLB
+  /// slot overlaps it — see translateSlow); with CNK's static large
+  /// pages nearly every data access resolves here without walking the
+  /// TLB array.
   TlbResult translate(std::uint32_t pid, VAddr va, Access access,
-                      Translation* out);
+                      Translation* out) {
+    if (microValid_ && pid == microPid_ && va - microVa_ < microSize_) {
+      if (!permAllows(microPerms_, access)) return TlbResult::kPermFault;
+      ++hits_;
+      if (out != nullptr) {
+        out->paddr = microPa_ + (va - microVa_);
+        out->perms = microPerms_;
+      }
+      return TlbResult::kHit;
+    }
+    return translateSlow(pid, va, access, out);
+  }
 
   /// Install an entry (kernel-privileged). Replaces an invalid slot if
   /// any, otherwise evicts round-robin. Returns slot index.
@@ -89,11 +106,23 @@ class Mmu {
   const std::vector<TlbEntry>& entries() const { return tlb_; }
 
  private:
+  TlbResult translateSlow(std::uint32_t pid, VAddr va, Access access,
+                          Translation* out);
+
   std::vector<TlbEntry> tlb_;
   DacRange dac_[kNumDac];
   int nextVictim_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t hits_ = 0;
+
+  // Micro-TLB: snapshot of one uniquely-covering entry; dropped on any
+  // install/invalidate.
+  bool microValid_ = false;
+  std::uint8_t microPerms_ = kPermNone;
+  std::uint32_t microPid_ = 0;
+  VAddr microVa_ = 0;
+  PAddr microPa_ = 0;
+  std::uint64_t microSize_ = 0;
 };
 
 }  // namespace bg::hw

@@ -1,0 +1,115 @@
+// Small-buffer-optimized move-only callable for event handlers.
+//
+// The event engine schedules millions of short-lived closures; almost
+// all of them capture at most a `this` pointer and a couple of words.
+// std::function heap-allocates most captures and drags in copyability
+// it never uses. InlineFn stores captures of up to kInlineBytes
+// (3 pointers) inline in the event slot, falls back to the heap only
+// for big captures, and is move-only — exactly what a fire-once event
+// needs.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bg::sim {
+
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 3 * sizeof(void*);
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &heapOps<Fn>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    // Move-construct into `to` and destroy the source (used for moves
+    // and for container growth of the slot table).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* p) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fitsInline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inlineOps = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* from, void* to) noexcept {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heapOps = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* from, void* to) noexcept {
+        *reinterpret_cast<Fn**>(to) =
+            *std::launder(reinterpret_cast<Fn**>(from));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  alignas(void*) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace bg::sim

@@ -37,6 +37,23 @@ const char* opName(Op op) {
   return "?";
 }
 
+void Program::decode() {
+  decoded_.resize(code_.size());
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instr& in = code_[i];
+    DecodedInstr& d = decoded_[i];
+    d.op = in.op;
+    d.rd = in.rd;
+    d.ra = in.ra;
+    d.rb = in.rb;
+    d.flags = in.flags;
+    d.a = in.a;
+    d.b = in.b;
+    d.imm = in.imm;
+    d.uimm = static_cast<std::uint64_t>(in.imm);
+  }
+}
+
 std::string Program::disassemble() const {
   std::ostringstream os;
   os << "; program " << name_ << " (" << code_.size() << " instrs)\n";
