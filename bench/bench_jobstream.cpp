@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "fault_schedule.hpp"
 #include "runtime/app.hpp"
 #include "svc/failover.hpp"
 #include "svc/service_node.hpp"
@@ -37,6 +38,13 @@ struct StreamParams {
   sim::Cycle failCycle = 4'000'000;
   int crashes = 0;                     // service-node fail-stops
   sim::Cycle restartDelay = 250'000;   // outage length per crash
+  // Compute-node fault plane (seeded; all-zero default changes nothing).
+  int memUes = 0;                      // uncorrectable-ECC panics
+  int ceStorms = 0;                    // correctable-ECC bursts
+  int coreHangs = 0;                   // frozen cores (watchdog bait)
+  sim::Cycle hangTimeout = 400'000;    // watchdog freeze threshold
+  std::uint32_t budget = 0;            // per-node failure budget (0 = off)
+  std::string rasLogPath;              // dump the aggregated RAS stream
 };
 
 std::shared_ptr<kernel::ElfImage> workImage(int id, std::uint64_t reps,
@@ -57,6 +65,8 @@ struct StreamResult {
   std::uint64_t coldStarts = 0;
   cnk::FshipStats fship;  // cluster-wide function-shipping counters
   io::CiodStats ciod;     // cluster-wide daemon counters
+  std::uint64_t coredumps = 0;    // lightweight coredumps shipped (CNK)
+  std::uint64_t eccScrubbed = 0;  // correctables scrubbed by kernels
 };
 
 StreamResult runStream(const StreamParams& p) {
@@ -72,6 +82,11 @@ StreamResult runStream(const StreamParams& p) {
 
   svc::ServiceNodeConfig scfg;
   scfg.policy = p.policy;
+  // Watchdog + budget knobs arm only with injected compute faults so
+  // the zero-fault stream stays schedule-identical to the seed run.
+  if (p.coreHangs > 0) scfg.hangTimeoutCycles = p.hangTimeout;
+  if (p.ceStorms > 0) scfg.ras.warnDrainThreshold = 8;
+  scfg.nodeFailureBudget = p.budget;
   svc::ServiceHost host(cluster, scfg);
 
   // Seeded job mix: width 1-3, ~1/4 FWK, work 100K-600K cycles.
@@ -114,6 +129,14 @@ StreamResult runStream(const StreamParams& p) {
     host.scheduleCrashRestart(at, p.restartDelay);
   }
 
+  // Seeded compute-node faults (UE panics, CE storms, core hangs) over
+  // the same window. Zero counts build an empty schedule and draw no
+  // random numbers.
+  const testing::FaultSchedule faults = testing::FaultSchedule::random(
+      p.seed, p.nodes, lastArrival + 2'000'000, 0, 0, 0, 0, 1, p.memUes,
+      p.ceStorms, p.coreHangs);
+  faults.arm(cluster, host);
+
   host.start();
 
   StreamResult r;
@@ -125,6 +148,28 @@ StreamResult runStream(const StreamParams& p) {
   r.coldStarts = host.coldStarts();
   r.fship = cluster.fshipTotals();
   r.ciod = cluster.ciodTotals();
+  for (int n = 0; n < p.nodes; ++n) {
+    if (const cnk::CnkKernel* k = cluster.cnkOn(n)) {
+      r.coredumps += k->coredumpsShipped();
+      r.eccScrubbed += k->eccScrubbed();
+    }
+  }
+
+  if (!p.rasLogPath.empty()) {
+    // One line per aggregated RAS event — the seed-identity witness the
+    // CI sweep diffs across runs (and uploads as an artifact).
+    if (std::FILE* f = std::fopen(p.rasLogPath.c_str(), "w")) {
+      for (const svc::SvcRasEvent& e : host.node().ras().stream()) {
+        std::fprintf(f, "%llu node=%d %s sev=%d pid=%u tid=%u detail=%llx\n",
+                     static_cast<unsigned long long>(e.event.cycle), e.node,
+                     kernel::rasCodeName(e.event.code),
+                     static_cast<int>(e.event.severity), e.event.pid,
+                     e.event.tid,
+                     static_cast<unsigned long long>(e.event.detail));
+      }
+      std::fclose(f);
+    }
+  }
   return r;
 }
 
@@ -150,7 +195,8 @@ sim::Json ioCountersJson(const StreamResult& r) {
   return io;
 }
 
-void printMetrics(const char* title, const StreamResult& res) {
+void printMetrics(const char* title, const StreamResult& res,
+                  bool showFaultPlane) {
   const svc::SvcMetrics& m = res.metrics;
   std::printf("\n%s\n", title);
   bg::bench::printRule();
@@ -194,6 +240,17 @@ void printMetrics(const char* title, const StreamResult& res) {
               static_cast<unsigned long long>(res.ciod.replays),
               static_cast<unsigned long long>(m.ioFailovers),
               static_cast<unsigned long long>(m.ioReboots));
+  if (showFaultPlane) {
+    std::printf("fault plane: %llu CE scrubbed, %llu coredumps shipped, "
+                "%llu hangs detected, %llu nodes retired, "
+                "mean requeue %.0f cycles (%llu samples)\n",
+                static_cast<unsigned long long>(res.eccScrubbed),
+                static_cast<unsigned long long>(res.coredumps),
+                static_cast<unsigned long long>(m.hangsDetected),
+                static_cast<unsigned long long>(m.nodesRetired),
+                m.meanRequeueCycles,
+                static_cast<unsigned long long>(m.requeueSamples));
+  }
   std::printf("schedule hash: %016llx\n",
               static_cast<unsigned long long>(m.scheduleHash));
 }
@@ -216,10 +273,24 @@ int main(int argc, char** argv) {
       p.crashes = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--restart-delay") == 0 && i + 1 < argc) {
       p.restartDelay = static_cast<sim::Cycle>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--mem-ues") == 0 && i + 1 < argc) {
+      p.memUes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ce-storms") == 0 && i + 1 < argc) {
+      p.ceStorms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hangs") == 0 && i + 1 < argc) {
+      p.coreHangs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--hang-timeout") == 0 && i + 1 < argc) {
+      p.hangTimeout = static_cast<sim::Cycle>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      p.budget = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ras-log") == 0 && i + 1 < argc) {
+      p.rasLogPath = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       jsonPath = argv[++i];
     }
   }
+  const bool computeFaults =
+      p.memUes > 0 || p.ceStorms > 0 || p.coreHangs > 0;
 
   std::printf("job-stream benchmark: %d jobs, %d nodes (%d FWK), "
               "policy=%s, node %d dies at cycle %llu, seed=%llu, "
@@ -229,13 +300,19 @@ int main(int argc, char** argv) {
               p.failNode, static_cast<unsigned long long>(p.failCycle),
               static_cast<unsigned long long>(p.seed), p.crashes,
               static_cast<unsigned long long>(p.restartDelay));
+  if (computeFaults) {
+    std::printf("compute faults: %d UE panics, %d CE storms, %d core hangs "
+                "(watchdog timeout %llu cycles, failure budget %u)\n",
+                p.memUes, p.ceStorms, p.coreHangs,
+                static_cast<unsigned long long>(p.hangTimeout), p.budget);
+  }
 
   const StreamResult run1 = runStream(p);
   if (!run1.drained) {
     std::fprintf(stderr, "stream did not drain\n");
     return 1;
   }
-  printMetrics("run 1", run1);
+  printMetrics("run 1", run1, computeFaults);
 
   // Determinism witness: replay the identical stream.
   const StreamResult run2 = runStream(p);
@@ -255,9 +332,18 @@ int main(int argc, char** argv) {
           p.policy == svc::SchedPolicyKind::kFifo ? "fifo" : "backfill");
     j.set("crashes", static_cast<std::int64_t>(p.crashes));
     j.set("restart_delay", p.restartDelay);
+    sim::Json fi = sim::Json::object();
+    fi.set("mem_ues", static_cast<std::int64_t>(p.memUes));
+    fi.set("ce_storms", static_cast<std::int64_t>(p.ceStorms));
+    fi.set("core_hangs", static_cast<std::int64_t>(p.coreHangs));
+    fi.set("hang_timeout", p.hangTimeout);
+    fi.set("failure_budget", static_cast<std::int64_t>(p.budget));
+    j.set("fault_injection", std::move(fi));
     j.set("metrics", run1.metrics.toJson());
     j.set("io", ioCountersJson(run1));
     j.set("cold_starts", run1.coldStarts);
+    j.set("coredumps_shipped", run1.coredumps);
+    j.set("ecc_scrubbed", run1.eccScrubbed);
     j.set("replay_hash_match", match);
     if (!j.writeFile(jsonPath)) {
       std::fprintf(stderr, "failed to write %s\n", jsonPath.c_str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "cnk/coredump.hpp"
 #include "io/vfs.hpp"
 
 namespace bg::cnk {
@@ -191,6 +192,7 @@ void CnkKernel::unloadJob() {
   mmap_.clear();
   procCores_.clear();
   remoteProcOfCore_.clear();
+  panicked_ = false;  // scrub/reboot path: the node may serve again
   // persist_ and its DRAM contents deliberately survive (§IV-D).
 }
 
@@ -694,19 +696,63 @@ hw::HandlerResult CnkKernel::onInterrupt(hw::Core& core, hw::Irq irq) {
     case hw::Irq::kExternal:
       return hw::HandlerResult::done(0, 60);
     case hw::Irq::kMachineCheck: {
-      // L1 parity error: signal the application so it can recover
-      // without a checkpoint/restart cycle (§V-B).
-      hw::ThreadCtx* cur = core.current();
-      if (cur != nullptr && !cur->done()) {
-        Thread& t = threadOf(*cur);
-        logRas(kernel::RasEvent::Code::kMachineCheck,
-               kernel::RasEvent::Severity::kWarn, t.proc.pid(), t.ctx.tid,
-               cur->pc);
-        const sim::Cycle c =
-            deliverSignal(t, kernel::kSigBus, cur->pc);
-        return hw::HandlerResult::done(0, 200 + c);
+      hw::McSyndrome syn;
+      if (!node_.takeMc(&syn)) {
+        // No latched syndrome: legacy/external injection
+        // (injectL1ParityError). Signal the application so it can
+        // recover without a checkpoint/restart cycle (§V-B).
+        hw::ThreadCtx* cur = core.current();
+        if (cur != nullptr && !cur->done()) {
+          Thread& t = threadOf(*cur);
+          logRas(kernel::RasEvent::Code::kMachineCheck,
+                 kernel::RasEvent::Severity::kWarn, t.proc.pid(), t.ctx.tid,
+                 cur->pc);
+          const sim::Cycle c =
+              deliverSignal(t, kernel::kSigBus, cur->pc);
+          return hw::HandlerResult::done(0, 200 + c);
+        }
+        return hw::HandlerResult::done(0, 200);
       }
-      return hw::HandlerResult::done(0, 200);
+      // Hardware latched one or more syndromes; multiple raises
+      // collapse into one pending IRQ bit, so drain the whole queue.
+      hw::ThreadCtx* cur = core.current();
+      const std::uint32_t pid = cur != nullptr ? cur->pid : 0;
+      const std::uint32_t tid = cur != nullptr ? cur->tid : 0;
+      sim::Cycle cost = 0;
+      bool panic = false;
+      hw::McSyndrome fatal;
+      do {
+        switch (syn.kind) {
+          case hw::McSyndrome::Kind::kCorrectable:
+            // ECC already fixed the data in flight; scrub the word
+            // back and count it. Transparent to the application.
+            ++eccScrubbed_;
+            logRas(kernel::RasEvent::Code::kEccCorrectable,
+                   kernel::RasEvent::Severity::kWarn, pid, tid, syn.paddr);
+            cost += 120;
+            break;
+          case hw::McSyndrome::Kind::kParity:
+            // L1 parity flip on a clean line: invalidate and refill
+            // from L3/DDR. The application never notices (§V-B).
+            ++parityRecovered_;
+            logRas(kernel::RasEvent::Code::kMachineCheck,
+                   kernel::RasEvent::Severity::kWarn, pid, tid, syn.paddr);
+            cost += 150;
+            break;
+          case hw::McSyndrome::Kind::kSpurious:
+            ++spuriousMcs_;
+            logRas(kernel::RasEvent::Code::kMachineCheck,
+                   kernel::RasEvent::Severity::kWarn, 0, 0, 0);
+            cost += 80;
+            break;
+          case hw::McSyndrome::Kind::kUncorrectable:
+            panic = true;
+            fatal = syn;
+            break;
+        }
+      } while (node_.takeMc(&syn));
+      if (panic) cost += panicOnUncorrectable(fatal);
+      return hw::HandlerResult::done(0, cost == 0 ? 10 : cost);
     }
   }
   return hw::HandlerResult::done(0, 10);
@@ -735,6 +781,74 @@ hw::ThreadCtx* CnkKernel::pickNext(hw::Core& core) {
 
 void CnkKernel::injectL1ParityError(int coreId) {
   node_.core(coreId).raise(hw::Irq::kMachineCheck);
+}
+
+sim::Cycle CnkKernel::panicOnUncorrectable(const hw::McSyndrome& syn) {
+  if (panicked_) return 50;  // already failing stopped
+  panicked_ = true;
+
+  // Attribute the panic to the first live process for triage.
+  std::uint32_t pid = 0;
+  for (const auto& p : processes_) {
+    if (!p->exited) {
+      pid = p->pid();
+      break;
+    }
+  }
+  logRas(kernel::RasEvent::Code::kEccUncorrectable,
+         kernel::RasEvent::Severity::kFatal, pid, 0, syn.paddr);
+
+  // Capture the dump before the fail-stop: registers and thread
+  // states as they were at the machine check.
+  shipCoredump(buildCoredump(*this, syn, engine().now()));
+
+  // Fail-stop: nothing user-level retires after an uncorrectable
+  // error. The service node sees the kFatal, requeues the job
+  // elsewhere, and reboots this node in place.
+  for (auto& p : processes_) {
+    for (const auto& t : p->threads()) {
+      if (!t->ctx.done()) killThread(*t);
+    }
+  }
+  return 3000;
+}
+
+void CnkKernel::shipCoredump(std::vector<std::byte> bytes) {
+  if (cfg_.ioNodeNetId < 0) return;  // no I/O path in this harness
+  const std::string path = coredumpPath(node_.id());
+  const std::uint64_t size = bytes.size();
+  // Kernel-internal chain on the (pid=0, tid=0) control channel,
+  // mirroring the linker's open/read/close idiom: mkdir /cores
+  // (EEXIST is fine) -> creat -> write at offset 0 -> close. The
+  // fship watchdog/retransmit layer underneath makes each leg
+  // reliable; CIOD's replay cache dedupes retransmitted writes.
+  fship_->shipRaw(
+      io::FsOp::kMkdir, 0, 0, 0, 0, 0, "/cores", {},
+      [this, path, size, bytes = std::move(bytes)](io::FsReply&&) mutable {
+        fship_->shipRaw(
+            io::FsOp::kOpen, 0, 0,
+            kernel::kOWronly | kernel::kOCreat | kernel::kOTrunc, 0, 0, path,
+            {}, [this, size, bytes = std::move(bytes)](io::FsReply&& orep) mutable {
+              if (orep.result < 0) return;  // RAS already has the panic
+              const auto fd = static_cast<std::uint64_t>(orep.result);
+              fship_->shipRaw(
+                  io::FsOp::kWrite, 0, 0, fd, size, 0, {}, std::move(bytes),
+                  [this, fd, size](io::FsReply&& wrep) {
+                    const bool ok =
+                        wrep.result == static_cast<std::int64_t>(size);
+                    fship_->shipRaw(
+                        io::FsOp::kClose, 0, 0, fd, 0, 0, {}, {},
+                        [this, ok, size](io::FsReply&&) {
+                          if (ok) {
+                            ++coredumpsShipped_;
+                            logRas(kernel::RasEvent::Code::kCoredump,
+                                   kernel::RasEvent::Severity::kInfo, 0, 0,
+                                   size);
+                          }
+                        });
+                  });
+            });
+      });
 }
 
 void CnkKernel::requestReproducibleReset(std::function<void()> onRestarted) {

@@ -101,6 +101,13 @@ class CnkKernel final : public kernel::KernelBase {
   /// paper §V-B: the 2007 Gordon Bell recovery story).
   void injectL1ParityError(int coreId);
 
+  /// Compute-node fault plane counters (machine-check handler).
+  std::uint64_t eccScrubbed() const { return eccScrubbed_; }
+  std::uint64_t parityRecovered() const { return parityRecovered_; }
+  std::uint64_t spuriousMcs() const { return spuriousMcs_; }
+  std::uint64_t coredumpsShipped() const { return coredumpsShipped_; }
+  bool panicked() const { return panicked_; }
+
   /// Reproducible-mode reset (§III): flush caches to DDR, DDR into
   /// self-refresh, toggle reset, restart without the service-node
   /// handshake. Any loaded job is torn down first.
@@ -139,6 +146,11 @@ class CnkKernel final : public kernel::KernelBase {
                                    const hw::SyscallArgs& a);
   hw::HandlerResult sysFileIo(kernel::Thread& t, const hw::SyscallArgs& a);
 
+  /// Uncorrectable machine check: log fatal RAS, ship a lightweight
+  /// coredump, fail-stop every user thread. Returns handler cost.
+  sim::Cycle panicOnUncorrectable(const hw::McSyndrome& syn);
+  void shipCoredump(std::vector<std::byte> bytes);
+
   void installRegionOnCores(const kernel::MemRegionDesc& r,
                             std::uint32_t pid,
                             const std::vector<int>& cores);
@@ -164,6 +176,11 @@ class CnkKernel final : public kernel::KernelBase {
   std::uint64_t tlbRefills_ = 0;
   std::uint64_t ipisSent_ = 0;
   std::uint64_t reproResets_ = 0;
+  std::uint64_t eccScrubbed_ = 0;
+  std::uint64_t parityRecovered_ = 0;
+  std::uint64_t spuriousMcs_ = 0;
+  std::uint64_t coredumpsShipped_ = 0;
+  bool panicked_ = false;
 
   friend class Linker;
 };

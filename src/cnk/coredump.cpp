@@ -1,0 +1,60 @@
+#include "cnk/coredump.hpp"
+
+#include "kernel/kernel.hpp"
+#include "sim/bytes.hpp"
+
+namespace bg::cnk {
+
+std::string coredumpPath(int nodeId) {
+  return "/cores/node" + std::to_string(nodeId) + ".core";
+}
+
+std::vector<std::byte> buildCoredump(kernel::KernelBase& kern,
+                                     const hw::McSyndrome& syn,
+                                     sim::Cycle now) {
+  sim::ByteWriter w;
+  w.u32(kCoredumpMagic);
+  w.u32(1);  // format version
+  w.u64(now);
+  w.u32(static_cast<std::uint32_t>(kern.node().id()));
+
+  // Syndrome: what killed the node.
+  w.u8(static_cast<std::uint8_t>(syn.kind));
+  w.u64(syn.paddr);
+  w.u32(static_cast<std::uint32_t>(syn.core));
+
+  // Process table. Iteration order is load order — deterministic.
+  const auto& procs = kern.processes();
+  w.u32(static_cast<std::uint32_t>(procs.size()));
+  for (const auto& p : procs) {
+    w.u32(p->pid());
+    w.u32(static_cast<std::uint32_t>(p->rank));
+    w.u8(p->exited ? 1 : 0);
+
+    // Thread table with architectural registers (the part of a full
+    // core file that actually gets read during fleet triage).
+    const auto& threads = p->threads();
+    w.u32(static_cast<std::uint32_t>(threads.size()));
+    for (const auto& t : threads) {
+      const hw::ThreadCtx& c = t->ctx;
+      w.u32(c.tid);
+      w.u8(static_cast<std::uint8_t>(c.state));
+      w.u64(c.pc);
+      w.u64(c.instrRetired);
+      w.u32(static_cast<std::uint32_t>(c.coreAffinity));
+      for (int r = 0; r < vm::kNumRegs; ++r) w.u64(c.regs[r]);
+    }
+
+    // Mapped-region summary (paper Fig 3's static map).
+    w.u32(static_cast<std::uint32_t>(p->regions.size()));
+    for (const auto& r : p->regions) {
+      w.str(r.name);
+      w.u64(r.vbase);
+      w.u64(r.size);
+      w.u8(r.perms);
+    }
+  }
+  return std::move(w).take();
+}
+
+}  // namespace bg::cnk

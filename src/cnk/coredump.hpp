@@ -1,0 +1,41 @@
+// Lightweight coredump for a clean CNK panic.
+//
+// When an uncorrectable machine check fires, CNK cannot trust DDR —
+// so instead of a full memory image it writes a compact, fully
+// deterministic summary: the syndrome (kind + faulting physical
+// address + core), every process's thread table with architectural
+// registers, and the static region map (paper Fig 3). The bytes are a
+// pure function of kernel state at panic time, so the same seed
+// yields a bit-identical dump — the coredump file itself is one of
+// the fault plane's determinism witnesses.
+//
+// The dump ships to the I/O node over the normal function-shipping
+// path (mkdir/creat/write/close) and lands as /cores/node<N>.core in
+// the CIOD's filesystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "sim/types.hpp"
+
+namespace bg::kernel {
+class KernelBase;
+}
+
+namespace bg::cnk {
+
+inline constexpr std::uint32_t kCoredumpMagic = 0x42474331;  // "BGC1"
+
+/// Serialize the panic summary. `now` is stamped into the header so a
+/// dump identifies the panic instant.
+std::vector<std::byte> buildCoredump(kernel::KernelBase& kern,
+                                     const hw::McSyndrome& syn,
+                                     sim::Cycle now);
+
+/// Where node `nodeId`'s dump lands on the I/O node's filesystem.
+std::string coredumpPath(int nodeId);
+
+}  // namespace bg::cnk

@@ -367,11 +367,63 @@ hw::HandlerResult FwkKernel::onInterrupt(hw::Core& core, hw::Irq irq) {
       return HandlerResult::done(0, cost);
     }
     case hw::Irq::kMachineCheck: {
-      // Linux treats an L1 parity machine check as fatal to the task
-      // (no application-recovery path — contrast with CNK §V-B).
+      hw::McSyndrome syn;
+      if (!node_.takeMc(&syn)) {
+        // Legacy injection: Linux treats an L1 parity machine check
+        // as fatal to the task (no application-recovery path —
+        // contrast with CNK §V-B).
+        hw::ThreadCtx* cur = core.current();
+        if (cur != nullptr && !cur->done()) killThread(threadOf(*cur));
+        return HandlerResult::done(0, 2'000);
+      }
+      // Latched hardware syndromes: Linux scrubs correctables like
+      // any EDAC driver, but an uncorrectable error or parity flip
+      // kills the task — and with it the node's usefulness to the
+      // job. No coredump either: the page cache can't be trusted
+      // after a machine check, so the FWK just reports and dies.
       hw::ThreadCtx* cur = core.current();
-      if (cur != nullptr && !cur->done()) killThread(threadOf(*cur));
-      return HandlerResult::done(0, 2'000);
+      const std::uint32_t pid = cur != nullptr ? cur->pid : 0;
+      sim::Cycle cost = 0;
+      bool fatal = false;
+      hw::PAddr fatalAddr = 0;
+      do {
+        switch (syn.kind) {
+          case hw::McSyndrome::Kind::kCorrectable:
+            logRas(kernel::RasEvent::Code::kEccCorrectable,
+                   kernel::RasEvent::Severity::kWarn, pid, 0, syn.paddr);
+            cost += 400;  // EDAC path is heavier than CNK's scrub
+            break;
+          case hw::McSyndrome::Kind::kSpurious:
+            logRas(kernel::RasEvent::Code::kMachineCheck,
+                   kernel::RasEvent::Severity::kWarn, 0, 0, 0);
+            cost += 300;
+            break;
+          case hw::McSyndrome::Kind::kParity:
+            if (cur != nullptr && !cur->done()) killThread(threadOf(*cur));
+            logRas(kernel::RasEvent::Code::kMachineCheck,
+                   kernel::RasEvent::Severity::kError, pid, 0, syn.paddr);
+            cost += 2'000;
+            break;
+          case hw::McSyndrome::Kind::kUncorrectable:
+            fatal = true;
+            fatalAddr = syn.paddr;
+            break;
+        }
+      } while (node_.takeMc(&syn));
+      if (fatal) {
+        // Panic: fail-stop every user thread and let the service
+        // node requeue the job and reboot the node.
+        logRas(kernel::RasEvent::Code::kEccUncorrectable,
+               kernel::RasEvent::Severity::kFatal, pid, 0, fatalAddr);
+        for (auto& p : processes_) {
+          if (p->kernelResident) continue;
+          for (const auto& t : p->threads()) {
+            if (!t->ctx.done()) killThread(*t);
+          }
+        }
+        cost += 5'000;
+      }
+      return HandlerResult::done(0, cost == 0 ? 50 : cost);
     }
   }
   return HandlerResult::done(0, 50);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "hw/mem_fault.hpp"
+
 namespace bg::hw {
 
 CacheArray::CacheArray(std::uint64_t sizeBytes, std::uint32_t lineBytes,
@@ -48,6 +50,14 @@ bool CacheArray::accessSlow(std::uint64_t lineAddr) {
 void CacheArray::flushAll() {
   lastLine_ = nullptr;
   for (Line& l : lines_) l.valid = false;
+}
+
+// Out of line so the header (and the inline access() fast path) stays
+// free of the fault model. A line fill is the natural injection point:
+// parity is checked when the line is brought in and first used.
+bool CacheArray::judgeParity() {
+  if (faults_ == nullptr) return false;
+  return faults_->judgeParity(nodeId_);
 }
 
 SharedCache::SharedCache(const SharedCacheConfig& cfg) : cfg_(cfg) {

@@ -15,6 +15,8 @@
 
 namespace bg::hw {
 
+class MemFaultModel;
+
 struct CacheStats {
   std::uint64_t accesses = 0;
   std::uint64_t hits = 0;
@@ -54,6 +56,24 @@ class CacheArray {
   const CacheStats& stats() const { return stats_; }
   void resetStats() { stats_ = {}; }
 
+  /// Parity fault injection (paper §V-B: parity-protected L1). The
+  /// Node attaches the machine-wide MemFaultModel; the hot access()
+  /// fast path above is untouched — Core judges line fills behind
+  /// the parityArmed() flag, out of line in cache.cpp.
+  void attachFaults(MemFaultModel* m, int nodeId) {
+    faults_ = m;
+    nodeId_ = nodeId;
+  }
+  void armParityFaults(bool armed) {
+    parityArmed_ = armed && faults_ != nullptr;
+  }
+  bool parityArmed() const { return parityArmed_; }
+
+  /// Judge one line fill against the fault model (defined in
+  /// cache.cpp). Only call when parityArmed(); draws nothing at
+  /// zero rates.
+  bool judgeParity();
+
  private:
   struct Line {
     std::uint64_t tag = 0;
@@ -71,6 +91,9 @@ class CacheArray {
   Line* lastLine_ = nullptr;        // line touched by the last access
   std::uint64_t lastLineAddr_ = 0;  // its line address (pa / lineBytes_)
   CacheStats stats_;
+  bool parityArmed_ = false;
+  MemFaultModel* faults_ = nullptr;
+  int nodeId_ = 0;
 };
 
 /// Bank-mapping policies for the shared cache (paper §III knob).

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "hw/mem_fault.hpp"
 #include "hw/node.hpp"
 #include "sim/hash.hpp"
 
@@ -34,7 +35,9 @@ void Core::kick() {
   // During a slice the follow-on scheduling at slice end covers any
   // state change a handler made; scheduling here would create a second
   // concurrent slice stream for the core (time compression).
-  if (inSlice_ || sliceScheduled_) return;
+  // A hung core ignores kicks outright: raised IRQs stay latched in
+  // pendingIrqs_ and are delivered after unhang().
+  if (hung_ || inSlice_ || sliceScheduled_) return;
   sliceScheduled_ = true;
   node_.engine().scheduleTask(0, &sliceTask_);
 }
@@ -90,10 +93,39 @@ void Core::scheduleSlice(sim::Cycle delay) {
 sim::Cycle Core::lineCost(PAddr pa, sim::Cycle atRelativeCost) {
   // L1 hit: 1 cycle. L1 miss -> shared cache; miss there -> DDR.
   if (l1_.access(pa)) return 1;
+  if (l1_.parityArmed() && l1_.judgeParity()) {
+    // Parity flip on the freshly filled line: latch a syndrome and
+    // machine-check; the kernel recovers by invalidate+refill
+    // (paper §V-B), so the access itself completes.
+    node_.pushMc(McSyndrome{McSyndrome::Kind::kParity, pa, id_});
+    raise(Irq::kMachineCheck);
+  }
   const sim::Cycle now = node_.engine().now() + sliceCost_ + atRelativeCost;
   const SharedCache::Result r = node_.l3().access(pa, now);
   sim::Cycle c = node_.l3().config().hitLatency + r.extraStall;
-  if (!r.hit) c += node_.ddr().accessLatency(now + c);
+  if (!r.hit) {
+    c += node_.ddr().accessLatency(now + c);
+    if (node_.ddr().faultsArmed()) {
+      switch (node_.ddr().judgeEcc()) {
+        case EccOutcome::kCorrectable:
+          // Single-bit flip: ECC already fixed the data in flight;
+          // report so the kernel can scrub and count it.
+          node_.pushMc(McSyndrome{McSyndrome::Kind::kCorrectable, pa, id_});
+          raise(Irq::kMachineCheck);
+          break;
+        case EccOutcome::kUncorrectable:
+          // Multi-bit flip: the data is gone. Latch so dataAccess
+          // refuses to complete; the machine-check IRQ panics the
+          // kernel at the next slice boundary.
+          node_.pushMc(McSyndrome{McSyndrome::Kind::kUncorrectable, pa, id_});
+          raise(Irq::kMachineCheck);
+          ueLatched_ = true;
+          break;
+        case EccOutcome::kNone:
+          break;
+      }
+    }
+  }
   return c;
 }
 
@@ -129,6 +161,13 @@ Core::AccessOutcome Core::dataAccess(ThreadCtx& t, VAddr va,
     return out;
   }
   out.cost += lineCost(tr.paddr, out.cost);
+  if (ueLatched_) {
+    // Uncorrectable ECC during the fill: the access must not retire.
+    // The thread stops on the faulting instruction; the latched
+    // machine check decides its fate before the core runs again.
+    ueLatched_ = false;
+    return out;  // ok=false
+  }
   out.ok = true;
   out.pa = tr.paddr;
   return out;
@@ -400,6 +439,7 @@ sim::Cycle Core::execOne(ThreadCtx& t, bool* stop) {
 
 void Core::runSlice() {
   sliceScheduled_ = false;
+  if (hung_) return;  // executes nothing; quiescent until unhang()
   inSlice_ = true;
   ++slicesRun_;
   sim::Cycle cost = 0;
@@ -438,6 +478,17 @@ void Core::runSlice() {
     return;
   }
 
+  // Slice-granular fault injection (hang / spurious machine check),
+  // judged only when a runnable thread is about to execute so the
+  // draw sequence tracks work done, not idle probes.
+  if (node_.sliceFaultsArmed() && node_.judgeSliceFaults(*this)) {
+    // Hung mid-schedule: the slice never runs and no follow-on is
+    // scheduled. cyclesBusy_ freezes — the heartbeat monitor's cue.
+    cyclesBusy_ += cost;
+    inSlice_ = false;
+    return;
+  }
+
   cur_->state = ThreadState::kRunning;
 
   // 3. Execute a batch.
@@ -461,6 +512,7 @@ std::uint64_t Core::scanHash() const {
   sim::Fnv1a h;
   h.mix(static_cast<std::uint64_t>(id_));
   h.mix(pendingIrqs_);
+  if (hung_) h.mix(0xAC1D);  // conditional: fault-free digests unchanged
   if (cur_ != nullptr) {
     h.mix(cur_->pc).mix(cur_->tid).mix(static_cast<std::uint64_t>(cur_->state));
     for (int i = 0; i < vm::kNumRegs; ++i) h.mix(cur_->regs[i]);

@@ -83,6 +83,18 @@ class Core {
   /// Flush L1 (reproducible-reset path).
   void flushCaches() { l1_.flushAll(); }
 
+  /// Fault-plane hooks: a hung core stops executing slices and
+  /// ignores kicks until unhang() — it makes no forward progress and
+  /// takes no interrupts, exactly the failure the service node's
+  /// heartbeat monitor exists to catch. Reboot-in-place clears it.
+  void hang() { hung_ = true; }
+  void unhang() {
+    if (!hung_) return;
+    hung_ = false;
+    kick();
+  }
+  bool hung() const { return hung_; }
+
   /// Hash of the architectural state visible to a logic scan: register
   /// file, pc, TLB contents, pending interrupts.
   std::uint64_t scanHash() const;
@@ -128,6 +140,8 @@ class Core {
   sim::Cycle decEventAt_ = 0;   // fire time of the outstanding dec event
   std::uint64_t cyclesBusy_ = 0;
   std::uint64_t slicesRun_ = 0;
+  bool hung_ = false;       // core stopped by fault injection
+  bool ueLatched_ = false;  // uncorrectable ECC hit the in-flight access
 };
 
 }  // namespace bg::hw

@@ -1,5 +1,15 @@
 #include "hw/ddr.hpp"
 
-// Ddr is header-only today; this TU anchors the target and reserves a
-// home for future timing-model extensions (bank scheduling, open-page
-// policy) without touching the build graph.
+#include "hw/mem_fault.hpp"
+
+namespace bg::hw {
+
+// ECC judgement lives out of line: the header stays free of the fault
+// model, and the hot accessLatency() path never sees it — Core only
+// calls judgeEcc() behind the faultsArmed() flag the Node maintains.
+EccOutcome Ddr::judgeEcc() {
+  if (faults_ == nullptr) return EccOutcome::kNone;
+  return faults_->judgeDdr(nodeId_);
+}
+
+}  // namespace bg::hw

@@ -14,6 +14,9 @@
 
 namespace bg::hw {
 
+class MemFaultModel;
+enum class EccOutcome : std::uint8_t;
+
 struct DdrConfig {
   sim::Cycle accessLatency = 60;      // L3-miss-to-DDR cycles
   sim::Cycle refreshInterval = 6630;  // ~7.8us at 850MHz
@@ -40,9 +43,27 @@ class Ddr {
 
   const DdrConfig& config() const { return cfg_; }
 
+  /// ECC fault injection (paper §III: ECC DDR). The Node attaches the
+  /// machine-wide MemFaultModel and keeps `armed_` in sync with the
+  /// node's effective ECC rates, so the hot DDR path pays one branch
+  /// on a member bool when injection is off.
+  void attachFaults(MemFaultModel* m, int nodeId) {
+    faults_ = m;
+    nodeId_ = nodeId;
+  }
+  void armFaults(bool armed) { armed_ = armed && faults_ != nullptr; }
+  bool faultsArmed() const { return armed_; }
+
+  /// Judge one access against the fault model (defined in ddr.cpp).
+  /// Only call when faultsArmed(); draws nothing at zero rates.
+  EccOutcome judgeEcc();
+
  private:
   DdrConfig cfg_;
   bool selfRefresh_ = false;
+  bool armed_ = false;
+  MemFaultModel* faults_ = nullptr;
+  int nodeId_ = 0;
 };
 
 }  // namespace bg::hw

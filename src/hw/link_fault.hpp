@@ -88,6 +88,10 @@ class LinkFaultModel {
 
   const LinkFaultStats& stats() const { return stats_; }
 
+  /// Raw generator steps taken so far. The zero-RNG-when-clean witness:
+  /// a run with all rates zero must leave this at exactly 0.
+  std::uint64_t rngDraws() const { return rng_.draws(); }
+
  private:
   sim::Rng rng_;
   LinkFaultRates defaults_;

@@ -33,17 +33,20 @@ Machine::Machine(const MachineConfig& cfg)
       torus_(engine_, cfg_.torus),
       barrier_(engine_, cfg_.barrier),
       collFaults_(cfg_.seed, "collective-faults"),
-      torusFaults_(cfg_.seed, "torus-faults") {
+      torusFaults_(cfg_.seed, "torus-faults"),
+      memFaults_(cfg_.seed, "mem-faults") {
   collFaults_.setDefaultRates(cfg_.collectiveFaults);
   torusFaults_.setDefaultRates(cfg_.torusFaults);
   collective_.setFaultModel(&collFaults_);
   torus_.setFaultModel(&torusFaults_);
+  memFaults_.setDefaultRates(cfg_.memFaults);
   compute_.reserve(static_cast<std::size_t>(cfg_.computeNodes));
   for (int i = 0; i < cfg_.computeNodes; ++i) {
     auto n = std::make_unique<Node>(engine_, i, cfg_.node);
     n->attachCollective(&collective_);
     n->attachTorus(&torus_);
     n->attachBarrier(&barrier_);
+    n->attachMemFaults(&memFaults_);
     torus_.attachNode(i, n.get());
     compute_.push_back(std::move(n));
   }
@@ -61,6 +64,16 @@ void Machine::resetNode(int i) {
   Node& n = node(i);
   n.prepareForReset();
   n.restartFromSelfRefresh();
+}
+
+void Machine::setDefaultMemFaultRates(const MemFaultRates& r) {
+  memFaults_.setDefaultRates(r);
+  for (auto& n : compute_) n->refreshMemFaultView();
+}
+
+void Machine::setNodeMemFaultRates(int node, const MemFaultRates& r) {
+  memFaults_.setNodeRates(node, r);
+  this->node(node).refreshMemFaultView();
 }
 
 std::uint64_t Machine::scanHash() const {

@@ -9,6 +9,7 @@
 #include "hw/barrier_net.hpp"
 #include "hw/collective.hpp"
 #include "hw/link_fault.hpp"
+#include "hw/mem_fault.hpp"
 #include "hw/node.hpp"
 #include "hw/torus.hpp"
 #include "sim/engine.hpp"
@@ -36,6 +37,9 @@ struct MachineConfig {
   /// RNG draws, bit-identical to a fault-free build).
   LinkFaultRates collectiveFaults;
   LinkFaultRates torusFaults;
+  /// Seeded compute-node memory/CPU fault injection (same contract:
+  /// all-zero defaults draw nothing and change nothing).
+  MemFaultRates memFaults;
   std::uint64_t seed = 42;
 };
 
@@ -78,6 +82,13 @@ class Machine {
   LinkFaultModel& collectiveFaults() { return collFaults_; }
   LinkFaultModel& torusFaults() { return torusFaults_; }
 
+  /// Seeded compute-node fault model (ECC/parity/hang/spurious-MC).
+  /// Always change rates through the setters below, not the model
+  /// directly: the nodes cache armed flags for the hot paths.
+  MemFaultModel& memFaults() { return memFaults_; }
+  void setDefaultMemFaultRates(const MemFaultRates& r);
+  void setNodeMemFaultRates(int node, const MemFaultRates& r);
+
   std::uint64_t seed() const { return cfg_.seed; }
 
   /// Service-node control hook: pull one compute node through a
@@ -99,6 +110,7 @@ class Machine {
   BarrierNet barrier_;
   LinkFaultModel collFaults_;
   LinkFaultModel torusFaults_;
+  MemFaultModel memFaults_;
   std::vector<std::unique_ptr<Node>> compute_;
   std::vector<std::unique_ptr<Node>> io_;  // primaries, then spares
 };

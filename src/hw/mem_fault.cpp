@@ -1,0 +1,50 @@
+#include "hw/mem_fault.hpp"
+
+namespace bg::hw {
+
+// Each judge draws at most once per enabled fault class, in a fixed
+// order, so the stream advances identically for identical traffic.
+// A zero rate draws nothing at all — the `> 0.0` guards are the
+// zero-RNG-when-clean contract, not an optimization.
+
+EccOutcome MemFaultModel::judgeDdr(int node) {
+  const MemFaultRates& r = ratesFor(node);
+  if (!r.eccEnabled()) return EccOutcome::kNone;
+  if (r.ueRate > 0.0 && rng_.nextDouble() < r.ueRate) {
+    ++stats_.uncorrectable;
+    return EccOutcome::kUncorrectable;
+  }
+  if (r.ceRate > 0.0 && rng_.nextDouble() < r.ceRate) {
+    ++stats_.correctable;
+    return EccOutcome::kCorrectable;
+  }
+  return EccOutcome::kNone;
+}
+
+bool MemFaultModel::judgeParity(int node) {
+  const MemFaultRates& r = ratesFor(node);
+  if (!r.parityEnabled()) return false;
+  if (rng_.nextDouble() < r.parityRate) {
+    ++stats_.parityFlips;
+    return true;
+  }
+  return false;
+}
+
+SliceFaultOutcome MemFaultModel::judgeSlice(int node) {
+  SliceFaultOutcome out;
+  const MemFaultRates& r = ratesFor(node);
+  if (!r.sliceEnabled()) return out;
+  if (r.hangRate > 0.0 && rng_.nextDouble() < r.hangRate) {
+    ++stats_.coreHangs;
+    out.hang = true;
+    return out;  // a hung core takes no further faults this slice
+  }
+  if (r.spuriousMcRate > 0.0 && rng_.nextDouble() < r.spuriousMcRate) {
+    ++stats_.spuriousMcs;
+    out.spuriousMc = true;
+  }
+  return out;
+}
+
+}  // namespace bg::hw

@@ -1,0 +1,111 @@
+// Seeded compute-node memory/CPU fault injection (paper §III, §V-B).
+//
+// The paper's reliability story rests on the compute node's hardware
+// fault plane: ECC DDR that corrects single-bit flips and machine-
+// checks on multi-bit ones, parity-protected L1 lines the kernel can
+// recover by invalidate+refill, and the occasional core that simply
+// stops making forward progress. MemFaultModel injects all of those
+// as seeded probabilistic events, mirroring LinkFaultModel's
+// zero-RNG-when-clean contract: when a node's rates are all zero the
+// judge helpers return immediately without touching the generator, so
+// a fault-free run is bit-identical to a build without the model.
+//
+// All draws come from one named stream (`Rng(seed, "mem-faults")`)
+// owned by the Machine, and judging happens at deterministic points
+// in the simulation (DDR accesses, L1 line fills, slice starts), so
+// the same seed yields the same fault pattern on every run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/rng.hpp"
+
+namespace bg::hw {
+
+/// Per-access / per-slice fault probabilities for one compute node.
+struct MemFaultRates {
+  double ceRate = 0.0;          ///< correctable ECC per DDR access
+  double ueRate = 0.0;          ///< uncorrectable ECC per DDR access
+  double parityRate = 0.0;      ///< L1 parity flip per line fill
+  double hangRate = 0.0;        ///< core hang per executed slice
+  double spuriousMcRate = 0.0;  ///< spurious machine check per slice
+
+  bool eccEnabled() const { return ceRate > 0.0 || ueRate > 0.0; }
+  bool parityEnabled() const { return parityRate > 0.0; }
+  bool sliceEnabled() const {
+    return hangRate > 0.0 || spuriousMcRate > 0.0;
+  }
+  bool enabled() const {
+    return eccEnabled() || parityEnabled() || sliceEnabled();
+  }
+};
+
+struct MemFaultStats {
+  std::uint64_t correctable = 0;    ///< CE events injected
+  std::uint64_t uncorrectable = 0;  ///< UE events injected
+  std::uint64_t parityFlips = 0;    ///< L1 parity events injected
+  std::uint64_t coreHangs = 0;      ///< cores hung
+  std::uint64_t spuriousMcs = 0;    ///< spurious machine checks
+};
+
+/// What a single DDR access judgement decided.
+enum class EccOutcome : std::uint8_t { kNone, kCorrectable, kUncorrectable };
+
+/// What a single slice judgement decided.
+struct SliceFaultOutcome {
+  bool hang = false;
+  bool spuriousMc = false;
+};
+
+class MemFaultModel {
+ public:
+  MemFaultModel(std::uint64_t seed, std::string_view component)
+      : rng_(seed, component) {}
+
+  /// Rates applied to nodes without a per-node override.
+  void setDefaultRates(const MemFaultRates& r) { defaults_ = r; }
+  /// Per-node override (e.g. one flaky DIMM in the rack).
+  void setNodeRates(int node, const MemFaultRates& r) {
+    perNode_[node] = r;
+  }
+
+  const MemFaultRates& ratesFor(int node) const {
+    auto it = perNode_.find(node);
+    return it == perNode_.end() ? defaults_ : it->second;
+  }
+
+  bool anyEnabled() const {
+    if (defaults_.enabled()) return true;
+    for (const auto& [n, r] : perNode_) {
+      if (r.enabled()) return true;
+    }
+    return false;
+  }
+
+  /// Judge one DDR access on `node`. Draws nothing when the node's
+  /// ECC rates are zero.
+  EccOutcome judgeDdr(int node);
+
+  /// Judge one L1 line fill on `node`. Draws nothing at rate zero.
+  bool judgeParity(int node);
+
+  /// Judge one executed core slice on `node`. Draws nothing when the
+  /// node's slice rates are zero.
+  SliceFaultOutcome judgeSlice(int node);
+
+  const MemFaultStats& stats() const { return stats_; }
+
+  /// Determinism witness: raw RNG steps consumed. Must stay zero for
+  /// a model whose rates are all zero, however much traffic it
+  /// judged.
+  std::uint64_t rngDraws() const { return rng_.draws(); }
+
+ private:
+  sim::Rng rng_;
+  MemFaultRates defaults_;
+  std::unordered_map<int, MemFaultRates> perNode_;
+  MemFaultStats stats_;
+};
+
+}  // namespace bg::hw

@@ -1,5 +1,6 @@
 #include "hw/node.hpp"
 
+#include "hw/mem_fault.hpp"
 #include "sim/hash.hpp"
 
 namespace bg::hw {
@@ -26,7 +27,58 @@ void Node::restartFromSelfRefresh() {
   for (auto& c : cores_) {
     c->flushCaches();
     c->mmu().invalidate();
+    c->unhang();  // a reboot-in-place clears a hung core
   }
+  mcQueue_.clear();  // latched syndromes do not survive a reset
+}
+
+void Node::attachMemFaults(MemFaultModel* m) {
+  memFaults_ = m;
+  ddr_.attachFaults(m, id_);
+  for (auto& c : cores_) c->l1().attachFaults(m, id_);
+  refreshMemFaultView();
+}
+
+void Node::refreshMemFaultView() {
+  if (memFaults_ == nullptr) {
+    ddr_.armFaults(false);
+    for (auto& c : cores_) c->l1().armParityFaults(false);
+    sliceFaultsArmed_ = false;
+    return;
+  }
+  const MemFaultRates& r = memFaults_->ratesFor(id_);
+  ddr_.armFaults(r.eccEnabled());
+  for (auto& c : cores_) c->l1().armParityFaults(r.parityEnabled());
+  sliceFaultsArmed_ = r.sliceEnabled();
+}
+
+bool Node::judgeSliceFaults(Core& c) {
+  const SliceFaultOutcome out = memFaults_->judgeSlice(id_);
+  if (out.hang) {
+    c.hang();
+    return true;
+  }
+  if (out.spuriousMc) {
+    pushMc(McSyndrome{McSyndrome::Kind::kSpurious, 0, c.id()});
+    c.raise(Irq::kMachineCheck);
+  }
+  return false;
+}
+
+void Node::injectUncorrectable(PAddr addr, int coreId) {
+  pushMc(McSyndrome{McSyndrome::Kind::kUncorrectable, addr, coreId});
+  core(coreId).raise(Irq::kMachineCheck);
+}
+
+void Node::injectCorrectable(PAddr addr, int coreId) {
+  pushMc(McSyndrome{McSyndrome::Kind::kCorrectable, addr, coreId});
+  core(coreId).raise(Irq::kMachineCheck);
+}
+
+std::uint64_t Node::progressCounter() const {
+  std::uint64_t p = 0;
+  for (const auto& c : cores_) p += c->cyclesBusy();
+  return p;
 }
 
 std::uint64_t Node::scanHash() const {

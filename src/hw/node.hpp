@@ -29,6 +29,25 @@ struct NodeConfig {
   std::uint64_t bootSramBytes = 64ULL << 10;
 };
 
+/// A latched machine-check syndrome. Hardware that detects a memory
+/// or CPU fault pushes one of these into the node's syndrome queue
+/// and raises Irq::kMachineCheck; the kernel's handler pops the queue
+/// to learn what actually happened (ECC scrub vs parity vs panic).
+/// An empty queue on a machine-check IRQ means a legacy/external
+/// injection (e.g. CnkKernel::injectL1ParityError) — kernels keep
+/// their historical behaviour for that case.
+struct McSyndrome {
+  enum class Kind : std::uint8_t {
+    kCorrectable,    // single-bit ECC, scrubbed transparently
+    kUncorrectable,  // multi-bit ECC, node must panic
+    kParity,         // L1 parity flip, recovered by invalidate+refill
+    kSpurious,       // machine check with no real fault behind it
+  };
+  Kind kind = Kind::kSpurious;
+  PAddr paddr = 0;  // faulting physical address (0 if n/a)
+  int core = 0;     // core that observed the fault
+};
+
 class Node {
  public:
   Node(sim::Engine& engine, int id, const NodeConfig& cfg);
@@ -75,6 +94,41 @@ class Node {
   /// per-cycle "logic scan" witness.
   std::uint64_t scanHash() const;
 
+  // --- compute-node fault plane -------------------------------------
+
+  /// Attach the machine-wide fault model and refresh the cached
+  /// per-component armed flags from its current rates.
+  void attachMemFaults(MemFaultModel* m);
+  /// Re-derive the armed flags after a rate change (Machine calls
+  /// this so the hot paths only ever test cached bools).
+  void refreshMemFaultView();
+  MemFaultModel* memFaults() { return memFaults_; }
+  bool sliceFaultsArmed() const { return sliceFaultsArmed_; }
+
+  /// Syndrome queue (drained by the kernel's machine-check handler).
+  void pushMc(const McSyndrome& s) { mcQueue_.push_back(s); }
+  bool takeMc(McSyndrome* out) {
+    if (mcQueue_.empty()) return false;
+    *out = mcQueue_.front();
+    mcQueue_.erase(mcQueue_.begin());
+    return true;
+  }
+
+  /// Judge slice-granular faults (hang / spurious MC) for `core`.
+  /// Returns true when the core was hung and must stop executing.
+  bool judgeSliceFaults(Core& c);
+
+  /// Schedule-driven injection: latch a syndrome and raise the
+  /// machine-check IRQ on `coreId` (used by tests/fault schedules and
+  /// the service node's fault-injection hooks).
+  void injectUncorrectable(PAddr addr, int coreId = 0);
+  void injectCorrectable(PAddr addr, int coreId = 0);
+
+  /// Forward-progress counter for the service node's heartbeat
+  /// monitor: total busy cycles across cores. A hung or dead node
+  /// stops advancing it.
+  std::uint64_t progressCounter() const;
+
  private:
   sim::Engine& engine_;
   int id_;
@@ -89,6 +143,9 @@ class Node {
   CollectiveNet* collective_ = nullptr;
   TorusNet* torus_ = nullptr;
   BarrierNet* barrier_ = nullptr;
+  MemFaultModel* memFaults_ = nullptr;
+  bool sliceFaultsArmed_ = false;
+  std::vector<McSyndrome> mcQueue_;
 };
 
 }  // namespace bg::hw

@@ -40,6 +40,10 @@ struct RasEvent {
     kNodeFailure,    // the whole node is lost (injected or diagnosed)
     kIoTimeout,      // a shipped I/O syscall gave up (EIO to the app)
     kIoNodeDead,     // timeout storm: this node's I/O node is gone
+    kEccCorrectable,    // single-bit DDR flip, scrubbed transparently
+    kEccUncorrectable,  // multi-bit DDR flip: clean panic + coredump
+    kCoreHang,          // heartbeat monitor: core stopped retiring
+    kCoredump,          // lightweight coredump landed on the I/O node
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -61,15 +65,41 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
   switch (c) {
     case RasEvent::Code::kJobLoaded:
     case RasEvent::Code::kJobExited:
+    case RasEvent::Code::kCoredump:
       return RasEvent::Severity::kInfo;
     case RasEvent::Code::kIoTimeout:
+    case RasEvent::Code::kEccCorrectable:
       return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
+    case RasEvent::Code::kEccUncorrectable:
+    case RasEvent::Code::kCoreHang:
       return RasEvent::Severity::kFatal;
     default:
       return RasEvent::Severity::kError;
   }
 }
+
+/// Stable short names for RAS codes (metrics JSON keys, log dumps).
+constexpr const char* rasCodeName(RasEvent::Code c) {
+  switch (c) {
+    case RasEvent::Code::kMachineCheck: return "machine_check";
+    case RasEvent::Code::kSegv: return "segv";
+    case RasEvent::Code::kThreadKilled: return "thread_killed";
+    case RasEvent::Code::kJobLoaded: return "job_loaded";
+    case RasEvent::Code::kJobExited: return "job_exited";
+    case RasEvent::Code::kNodeFailure: return "node_failure";
+    case RasEvent::Code::kIoTimeout: return "io_timeout";
+    case RasEvent::Code::kIoNodeDead: return "io_node_dead";
+    case RasEvent::Code::kEccCorrectable: return "ecc_correctable";
+    case RasEvent::Code::kEccUncorrectable: return "ecc_uncorrectable";
+    case RasEvent::Code::kCoreHang: return "core_hang";
+    case RasEvent::Code::kCoredump: return "coredump";
+  }
+  return "?";
+}
+
+/// Number of RasEvent::Code values (array sizing in src/svc).
+inline constexpr std::size_t kNumRasCodes = 12;
 
 class KernelBase : public hw::KernelIf {
  public:

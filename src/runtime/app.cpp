@@ -16,6 +16,7 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
   mc.barrier = cfg_.barrier;
   mc.collectiveFaults = cfg_.collectiveFaults;
   mc.torusFaults = cfg_.torusFaults;
+  mc.memFaults = cfg_.memFaults;
   mc.seed = cfg_.seed;
   machine_ = std::make_unique<hw::Machine>(mc);
 

@@ -55,6 +55,9 @@ struct ClusterConfig {
   /// random numbers and leave every schedule bit-identical.
   hw::LinkFaultRates collectiveFaults;
   hw::LinkFaultRates torusFaults;
+  /// Seeded compute-node memory/core fault injection (ECC, parity,
+  /// hangs); same all-zero-default contract as the link rates.
+  hw::MemFaultRates memFaults;
   std::uint64_t seed = 42;
 };
 

@@ -36,6 +36,7 @@ Rng::Rng(std::uint64_t seed, std::string_view component)
     : Rng(seed ^ hashName(component)) {}
 
 std::uint64_t Rng::next() {
+  ++draws_;
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

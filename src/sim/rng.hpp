@@ -35,8 +35,15 @@ class Rng {
   /// daemon inter-arrival jitter). Deterministic given the stream.
   double nextExp(double mean);
 
+  /// Number of raw generator steps consumed so far. Fault models
+  /// promise zero draws while disabled (the zero-RNG-when-clean
+  /// contract); this counter is the witness. nextBelow() may step
+  /// more than once (rejection sampling), so we count in next().
+  std::uint64_t draws() const { return draws_; }
+
  private:
   std::uint64_t s_[4];
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace bg::sim

@@ -79,6 +79,9 @@ void SvcCheckpoint::encode(sim::ByteWriter& w) const {
   w.u64(predictiveDrains);
   w.u64(ioFailovers);
   w.u64(ioReboots);
+  w.u64(nodesRetired);
+  w.u64(requeueLatencyTotal);
+  w.u64(requeueCount);
   w.u64(firstSubmit);
   w.u64(lastEnd);
   w.u64(pumpDue);
@@ -114,6 +117,9 @@ bool SvcCheckpoint::decode(sim::ByteReader& r) {
   predictiveDrains = r.u64();
   ioFailovers = r.u64();
   ioReboots = r.u64();
+  nodesRetired = r.u64();
+  requeueLatencyTotal = r.u64();
+  requeueCount = r.u64();
   firstSubmit = r.u64();
   lastEnd = r.u64();
   pumpDue = r.u64();

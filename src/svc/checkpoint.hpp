@@ -34,7 +34,7 @@ struct PendingNodeOp {
 };
 
 struct SvcCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   struct JobEntry {
     JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty
@@ -50,6 +50,11 @@ struct SvcCheckpoint {
   std::uint64_t predictiveDrains = 0;
   std::uint64_t ioFailovers = 0;  // CIOD deaths resolved onto a spare
   std::uint64_t ioReboots = 0;    // CIOD deaths repaired in place
+  std::uint64_t nodesRetired = 0;  // failure budgets blown (v2)
+  /// Mean-time-to-requeue accounting (v2): fatal RAS cycle -> victim
+  /// job disposition, summed, with the sample count.
+  std::uint64_t requeueLatencyTotal = 0;
+  std::uint64_t requeueCount = 0;
   sim::Cycle firstSubmit = 0;
   sim::Cycle lastEnd = 0;
   /// Absolute cycle the next control-loop pump was scheduled for;

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "sim/json.hpp"
 #include "sim/types.hpp"
@@ -34,6 +36,12 @@ struct SvcMetrics {
   std::uint64_t ioFailovers = 0;       // CIOD deaths re-homed to a spare
   std::uint64_t ioReboots = 0;         // CIOD deaths repaired in place
 
+  // Compute-node fault plane.
+  std::uint64_t hangsDetected = 0;   // heartbeat watchdog declarations
+  std::uint64_t nodesRetired = 0;    // failure budgets blown
+  double meanRequeueCycles = 0;      // fatal RAS -> victim job requeued
+  std::uint64_t requeueSamples = 0;  // fatals that had a victim job
+
   // Control-plane failover (filled by ServiceHost).
   std::uint64_t serviceCrashes = 0;
   std::uint64_t serviceRestarts = 0;
@@ -47,6 +55,13 @@ struct SvcMetrics {
   std::uint64_t rasFatal = 0;
   std::uint64_t rasThrottled = 0;
   std::uint64_t rasDropped = 0;
+  /// Entries the per-kernel bounded RAS rings overwrote (whether or
+  /// not the aggregator had consumed them) — the raw overflow count,
+  /// distinct from rasDropped's "lost before the service node saw
+  /// them" accounting.
+  std::uint64_t rasRingDropped = 0;
+  /// Aggregator tallies per RAS code (stable short name, count).
+  std::vector<std::pair<const char*, std::uint64_t>> rasByCode;
 
   // Determinism witness: FNV digest of every scheduling decision.
   std::uint64_t scheduleHash = 0;
@@ -81,7 +96,17 @@ struct SvcMetrics {
     ras.set("fatal", rasFatal);
     ras.set("throttled", rasThrottled);
     ras.set("dropped", rasDropped);
+    ras.set("ring_dropped", rasRingDropped);
+    sim::Json byCode = sim::Json::object();
+    for (const auto& [name, count] : rasByCode) byCode.set(name, count);
+    ras.set("by_code", std::move(byCode));
     j.set("ras", std::move(ras));
+    sim::Json fault = sim::Json::object();
+    fault.set("hangs_detected", hangsDetected);
+    fault.set("nodes_retired", nodesRetired);
+    fault.set("mean_requeue_cycles", meanRequeueCycles);
+    fault.set("requeue_samples", requeueSamples);
+    j.set("fault", std::move(fault));
     char hash[32];
     std::snprintf(hash, sizeof(hash), "%016llx",
                   static_cast<unsigned long long>(scheduleHash));

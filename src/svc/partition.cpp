@@ -56,6 +56,12 @@ void PartitionManager::markReset(int n) {
   nodes_[idx(n)].state = NodeLifecycle::kReset;
 }
 
+void PartitionManager::markRetired(int n) {
+  NodeInfo& ni = nodes_[idx(n)];
+  ni.state = NodeLifecycle::kRetired;
+  ni.job = 0;
+}
+
 int PartitionManager::countIn(NodeLifecycle s) const {
   return static_cast<int>(
       std::count_if(nodes_.begin(), nodes_.end(),

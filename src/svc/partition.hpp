@@ -23,6 +23,7 @@ enum class NodeLifecycle : std::uint8_t {
   kRunning,   // owned by a job
   kDraining,  // job being torn down after a fault elsewhere in its block
   kDown,      // lost to a fatal RAS event; awaiting repair + reboot
+  kRetired,   // failure budget exhausted; out of service for good
 };
 
 constexpr const char* lifecycleName(NodeLifecycle s) {
@@ -33,6 +34,7 @@ constexpr const char* lifecycleName(NodeLifecycle s) {
     case NodeLifecycle::kRunning: return "running";
     case NodeLifecycle::kDraining: return "draining";
     case NodeLifecycle::kDown: return "down";
+    case NodeLifecycle::kRetired: return "retired";
   }
   return "?";
 }
@@ -56,6 +58,7 @@ class PartitionManager {
   void beginDrain(int n, sim::Cycle now);  // running -> draining
   void markDown(int n, sim::Cycle now);    // any -> down (+failure count)
   void markReset(int n);                   // down -> reset (repair done)
+  void markRetired(int n);                 // down -> retired (budget blown)
 
   int countIn(NodeLifecycle s) const;
   int readyCount(rt::KernelKind k) const;

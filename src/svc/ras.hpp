@@ -126,7 +126,7 @@ class RasAggregator {
     std::uint32_t inWindow = 0;
   };
 
-  static constexpr std::size_t kNumCodes = 8;
+  static constexpr std::size_t kNumCodes = 12;
   static constexpr std::size_t kNumSeverities = 4;
 
   bool admit(const kernel::RasEvent& e);

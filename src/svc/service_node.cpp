@@ -23,6 +23,7 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
       store_(store),
       alive_(std::make_shared<bool>(true)),
       nodeOps_(static_cast<std::size_t>(parts_.size())),
+      watchdog_(parts_.size()),
       ioRepairPending_(
           static_cast<std::size_t>(cluster.machine().numIoNodes()), 0) {
   for (int n = 0; n < parts_.size(); ++n) {
@@ -105,11 +106,34 @@ void ServiceNode::schedulePumpAt(sim::Cycle due) {
 void ServiceNode::pump() {
   pumpScheduled_ = false;
   pumpDue_ = 0;
+  scanHeartbeats();           // hangs logged here are collected below
   ras_.poll(engine().now());  // fatal/warn handlers may drain nodes here
   pollCompletions();
   trySchedule();
   if (!idle() || anyNodeInFlight()) schedulePump();
   checkpointAfterPump();
+}
+
+void ServiceNode::scanHeartbeats() {
+  if (cfg_.hangTimeoutCycles == 0) return;
+  const sim::Cycle now = engine().now();
+  for (int n = 0; n < parts_.size(); ++n) {
+    if (parts_.state(n) != NodeLifecycle::kRunning) {
+      watchdog_.forget(n);
+      continue;
+    }
+    const std::uint64_t progress =
+        cluster_.machine().node(n).progressCounter();
+    if (!watchdog_.observe(n, progress, now, cfg_.hangTimeoutCycles)) {
+      continue;
+    }
+    // A hung core can't report its own death; write the fatal through
+    // the node's kernel ring so it travels the same aggregator path a
+    // machine-check panic does (this pump's poll acts on it).
+    cluster_.kernelOn(n).logRas(kernel::RasEvent::Code::kCoreHang,
+                                kernel::RasEvent::Severity::kFatal, 0, 0,
+                                static_cast<std::uint64_t>(n));
+  }
 }
 
 void ServiceNode::pollCompletions() {
@@ -298,18 +322,27 @@ void ServiceNode::repairDone(int node) {
 void ServiceNode::onNodeFatal(int node, const kernel::RasEvent& e) {
   const NodeLifecycle st = parts_.state(node);
   if (st == NodeLifecycle::kDown || st == NodeLifecycle::kDraining ||
-      st == NodeLifecycle::kReset || st == NodeLifecycle::kBooting) {
-    return;  // already being handled
+      st == NodeLifecycle::kReset || st == NodeLifecycle::kBooting ||
+      st == NodeLifecycle::kRetired) {
+    return;  // already being handled (or permanently out of service)
   }
   const sim::Cycle now = engine().now();
   const JobId victim = parts_.jobOn(node);
   ++failures_;
   note("node_fatal", victim, now, {node});
-  (void)e;
 
   killUserThreadsOn(node);
   parts_.markDown(node, now);
-  scheduleRepairDone(node, now + cfg_.repairCycles);
+  if (cfg_.nodeFailureBudget != 0 &&
+      parts_.failuresOf(node) >= cfg_.nodeFailureBudget) {
+    // Budget blown: this node has proven itself unreliable. Park it
+    // for good instead of burning another repair window on it.
+    parts_.markRetired(node);
+    ++nodesRetired_;
+    note("node_retired", 0, now, {node});
+  } else {
+    scheduleRepairDone(node, now + cfg_.repairCycles);
+  }
 
   if (victim == 0) return;
   JobRecord* jr = find(victim);
@@ -318,6 +351,12 @@ void ServiceNode::onNodeFatal(int node, const kernel::RasEvent& e) {
       runningIds_.end());
   drainHeldNodes(*jr, now, node);
   requeueOrFail(*jr, now);
+  // Mean-time-to-requeue: from the fatal event's logged cycle to the
+  // victim's disposition (requeued or failed out) here.
+  if (e.cycle <= now) {
+    requeueLatencyTotal_ += now - e.cycle;
+    ++requeueCount_;
+  }
 }
 
 void ServiceNode::onWarnStorm(int node, sim::Cycle cycle) {
@@ -499,6 +538,9 @@ SvcCheckpoint ServiceNode::buildCheckpoint() {
   ck.predictiveDrains = predictiveDrains_;
   ck.ioFailovers = ioFailovers_;
   ck.ioReboots = ioReboots_;
+  ck.nodesRetired = nodesRetired_;
+  ck.requeueLatencyTotal = requeueLatencyTotal_;
+  ck.requeueCount = requeueCount_;
   ck.firstSubmit = firstSubmit_;
   ck.lastEnd = lastEnd_;
   ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
@@ -582,6 +624,9 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   predictiveDrains_ = ck.predictiveDrains;
   ioFailovers_ = ck.ioFailovers;
   ioReboots_ = ck.ioReboots;
+  nodesRetired_ = ck.nodesRetired;
+  requeueLatencyTotal_ = ck.requeueLatencyTotal;
+  requeueCount_ = ck.requeueCount;
   firstSubmit_ = ck.firstSubmit;
   lastEnd_ = ck.lastEnd;
   hash_.restore(ck.scheduleHash);
@@ -773,6 +818,21 @@ SvcMetrics ServiceNode::metrics() {
   m.rasFatal = ras_.countBySeverity(Sev::kFatal);
   m.rasThrottled = ras_.throttled();
   m.rasDropped = ras_.dropped();
+  for (int n = 0; n < parts_.size(); ++n) {
+    m.rasRingDropped += cluster_.kernelOn(n).rasDropped();
+  }
+  for (std::size_t c = 0; c < kernel::kNumRasCodes; ++c) {
+    const auto code = static_cast<kernel::RasEvent::Code>(c);
+    m.rasByCode.emplace_back(kernel::rasCodeName(code),
+                             ras_.countByCode(code));
+  }
+  m.hangsDetected = watchdog_.hangsDetected();
+  m.nodesRetired = nodesRetired_;
+  m.requeueSamples = requeueCount_;
+  m.meanRequeueCycles =
+      requeueCount_ > 0 ? static_cast<double>(requeueLatencyTotal_) /
+                              static_cast<double>(requeueCount_)
+                        : 0;
   m.scheduleHash = hash_.digest();
   return m;
 }

@@ -40,6 +40,7 @@
 #include "svc/partition.hpp"
 #include "svc/ras.hpp"
 #include "svc/scheduler.hpp"
+#include "svc/watchdog.hpp"
 
 namespace bg::svc {
 
@@ -62,6 +63,16 @@ struct ServiceNodeConfig {
   /// restart); N > 1 checkpoints every Nth control-loop pump only
   /// (cheaper, restart may requeue work done since); 0 disables.
   std::uint32_t checkpointEveryPumps = 1;
+  /// Heartbeat watchdog: a kRunning node whose progress counter (sum
+  /// of per-core busy cycles) freezes for this long is declared hung —
+  /// a fatal kCoreHang RAS event is written through its kernel ring so
+  /// it travels the same path a machine-check panic does. 0 disables
+  /// the watchdog (and with it, every extra per-pump node scan).
+  sim::Cycle hangTimeoutCycles = 0;
+  /// Per-node failure budget: once a node's lifetime fatal count
+  /// reaches this, it is retired (kRetired, out of service for good)
+  /// instead of repaired and rebooted. 0 = unlimited, always repair.
+  std::uint32_t nodeFailureBudget = 0;
   RasAggregatorConfig ras;
 };
 
@@ -129,6 +140,10 @@ class ServiceNode {
   /// (jobs keep running) vs. repaired in place (jobs requeued).
   std::uint64_t ioFailovers() const { return ioFailovers_; }
   std::uint64_t ioReboots() const { return ioReboots_; }
+  /// Compute-node fault plane: hangs the heartbeat watchdog declared
+  /// and nodes taken out of service for good by the failure budget.
+  std::uint64_t hangsDetected() const { return watchdog_.hangsDetected(); }
+  std::uint64_t nodesRetired() const { return nodesRetired_; }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
@@ -150,6 +165,9 @@ class ServiceNode {
   void schedulePump();
   void schedulePumpAt(sim::Cycle due);
   void pump();
+  /// Watchdog sweep over kRunning nodes; runs at the top of each pump
+  /// so a declared hang is collected by the same pump's RAS poll.
+  void scanHeartbeats();
   void pollCompletions();
   void trySchedule();
   bool launch(JobRecord& jr, const std::vector<int>& nodes);
@@ -202,6 +220,7 @@ class ServiceNode {
   std::deque<JobId> queue_;       // FIFO order
   std::vector<JobId> runningIds_;
   std::vector<PendingNodeOp> nodeOps_;  // armed drain/repair deadlines
+  HeartbeatMonitor watchdog_;
   JobId nextId_ = 1;
   bool started_ = false;
   bool pumpScheduled_ = false;
@@ -214,6 +233,11 @@ class ServiceNode {
   std::uint64_t predictiveDrains_ = 0;
   std::uint64_t ioFailovers_ = 0;
   std::uint64_t ioReboots_ = 0;
+  std::uint64_t nodesRetired_ = 0;
+  /// Mean-time-to-requeue accounting: fatal RAS event raised (its
+  /// logged cycle) -> victim job back on the queue (or failed out).
+  std::uint64_t requeueLatencyTotal_ = 0;
+  std::uint64_t requeueCount_ = 0;
   /// Per-primary-I/O-node flag: an in-place repair is scheduled, so
   /// further kIoNodeDead reports for the same death are duplicates.
   std::vector<char> ioRepairPending_;

@@ -1,0 +1,26 @@
+#include "svc/watchdog.hpp"
+
+namespace bg::svc {
+
+bool HeartbeatMonitor::observe(int n, std::uint64_t progress, sim::Cycle now,
+                               sim::Cycle timeout) {
+  Entry& e = nodes_[static_cast<std::size_t>(n)];
+  if (!e.tracked || progress != e.progress) {
+    e.tracked = true;
+    e.flagged = false;
+    e.progress = progress;
+    e.since = now;
+    return false;
+  }
+  if (e.flagged) return false;
+  if (now - e.since < timeout) return false;
+  e.flagged = true;
+  ++hangs_;
+  return true;
+}
+
+void HeartbeatMonitor::forget(int n) {
+  nodes_[static_cast<std::size_t>(n)] = Entry{};
+}
+
+}  // namespace bg::svc

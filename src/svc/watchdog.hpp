@@ -1,0 +1,52 @@
+// Heartbeat watchdog: the service node's liveness view of compute
+// nodes. Real Blue Gene control systems poll nodes over the service
+// network and declare a node dead when it stops answering; here the
+// equivalent signal is the node's progress counter (sum of per-core
+// busy cycles), sampled once per control-loop pump. A kRunning node
+// whose counter freezes for longer than the configured timeout has a
+// hung core (injected via hw::MemFaultModel or Core::hang()) — the
+// kernel on it can't tell us, so this monitor is the only detector.
+//
+// The monitor is deliberately NOT checkpointed: a restarted control
+// plane re-baselines every node on its first pump. A genuinely hung
+// node stays frozen, so detection is delayed by one timeout window
+// after a restart — never lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace bg::svc {
+
+class HeartbeatMonitor {
+ public:
+  explicit HeartbeatMonitor(int nodes)
+      : nodes_(static_cast<std::size_t>(nodes)) {}
+
+  /// Feed one sample of node n's progress counter at `now`. Returns
+  /// true exactly once per freeze: the first sample at which the
+  /// counter has not advanced for at least `timeout` cycles.
+  bool observe(int n, std::uint64_t progress, sim::Cycle now,
+               sim::Cycle timeout);
+
+  /// Drop history for a node leaving kRunning (drained, repaired,
+  /// requeued): its next observation re-baselines.
+  void forget(int n);
+
+  std::uint64_t hangsDetected() const { return hangs_; }
+
+ private:
+  struct Entry {
+    bool tracked = false;
+    bool flagged = false;  // freeze already reported; don't re-fire
+    std::uint64_t progress = 0;
+    sim::Cycle since = 0;  // cycle the current progress value was first seen
+  };
+
+  std::vector<Entry> nodes_;
+  std::uint64_t hangs_ = 0;
+};
+
+}  // namespace bg::svc

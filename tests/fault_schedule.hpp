@@ -20,6 +20,16 @@
 //    repair. Clusters armed with these need tight fship timeouts and
 //    at least some I/O-performing jobs, or the death goes unnoticed
 //    (which is also a valid outcome the invariants must survive).
+//  - kMemUe:     latch an uncorrectable-ECC machine check on one core.
+//    The kernel's handler panics, ships a coredump, and logs the fatal
+//    that takes the node down — the full §V fault plane end to end.
+//  - kCeStorm:   burst of correctable-ECC machine checks. Each one is
+//    scrubbed transparently by the kernel (kWarn RAS); enough of them
+//    inside the aggregator's warn window triggers predictive drain.
+//  - kCoreHang:  freeze a core outright. Nothing is reported — the
+//    node's kernel can't run on a dead core — so detection is the
+//    service node's heartbeat watchdog noticing the progress counter
+//    stopped (clusters armed with these need hangTimeoutCycles > 0).
 //
 // The harness only pokes the control loop when one is alive; faults
 // landing during an outage sit in the kernel logs until the restarted
@@ -41,6 +51,9 @@ struct FaultEvent {
     kNodeDeath,
     kWarnStorm,
     kIoDeath,
+    kMemUe,
+    kCeStorm,
+    kCoreHang,
   };
   Kind kind = Kind::kNodeDeath;
   sim::Cycle atCycle = 0;
@@ -67,6 +80,18 @@ class FaultSchedule {
     events_.push_back({FaultEvent::Kind::kIoDeath, at, ioIdx, 0, 0});
     return *this;
   }
+  FaultSchedule& memUe(int node, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kMemUe, at, node, 0, 0});
+    return *this;
+  }
+  FaultSchedule& ceStorm(int node, sim::Cycle at, int count) {
+    events_.push_back({FaultEvent::Kind::kCeStorm, at, node, 0, count});
+    return *this;
+  }
+  FaultSchedule& coreHang(int node, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kCoreHang, at, node, 0, 0});
+    return *this;
+  }
 
   /// Seeded mixed schedule over [0, horizon): `crashes` control-plane
   /// outages, `deaths` node losses, `storms` warn bursts, `ioDeaths`
@@ -77,7 +102,8 @@ class FaultSchedule {
   static FaultSchedule random(std::uint64_t seed, int nodes,
                               sim::Cycle horizon, int crashes, int deaths,
                               int storms, int ioDeaths = 0,
-                              int ioNodes = 1) {
+                              int ioNodes = 1, int memUes = 0,
+                              int ceStorms = 0, int coreHangs = 0) {
     sim::Rng rng(seed, "fault-schedule");
     FaultSchedule fs;
     for (int i = 0; i < crashes; ++i) {
@@ -99,6 +125,22 @@ class FaultSchedule {
       fs.ioDeath(static_cast<int>(rng.nextBelow(
                      static_cast<std::uint64_t>(ioNodes))),
                  1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < memUes; ++i) {
+      fs.memUe(static_cast<int>(rng.nextBelow(
+                   static_cast<std::uint64_t>(nodes))),
+               1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < ceStorms; ++i) {
+      fs.ceStorm(static_cast<int>(rng.nextBelow(
+                     static_cast<std::uint64_t>(nodes))),
+                 1 + rng.nextBelow(horizon),
+                 6 + static_cast<int>(rng.nextBelow(6)));
+    }
+    for (int i = 0; i < coreHangs; ++i) {
+      fs.coreHang(static_cast<int>(rng.nextBelow(
+                      static_cast<std::uint64_t>(nodes))),
+                  1 + rng.nextBelow(horizon));
     }
     return fs;
   }
@@ -138,6 +180,30 @@ class FaultSchedule {
           // already down (mid-repair) is left alone.
           eng.scheduleAt(f.atCycle, [&cluster, idx = f.node] {
             if (!cluster.ciod(idx).crashed()) cluster.ciod(idx).crash();
+          });
+          break;
+        case FaultEvent::Kind::kMemUe:
+          eng.scheduleAt(f.atCycle, [&cluster, &host, node = f.node] {
+            cluster.machine().node(node).injectUncorrectable(
+                0xBAD0000ULL + (static_cast<std::uint64_t>(node) << 12));
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kCeStorm:
+          eng.scheduleAt(f.atCycle,
+                         [&cluster, &host, node = f.node, n = f.count] {
+            for (int i = 0; i < n; ++i) {
+              cluster.machine().node(node).injectCorrectable(
+                  0xCE0000ULL + static_cast<std::uint64_t>(i) * 64);
+            }
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kCoreHang:
+          // Freeze core 0 outright. No RAS, no poke: only the
+          // heartbeat watchdog can see this one.
+          eng.scheduleAt(f.atCycle, [&cluster, node = f.node] {
+            cluster.machine().node(node).core(0).hang();
           });
           break;
       }
