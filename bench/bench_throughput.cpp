@@ -136,7 +136,11 @@ double runExchange(std::uint64_t bytes, rt::KernelKind kind, int nodes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
   const int nodes = 8;
 
   std::vector<std::uint64_t> sizes = {1 << 10, 4 << 10,  16 << 10,
@@ -150,14 +154,28 @@ int main(int argc, char** argv) {
   bg::bench::printRule();
   std::printf("%12s %18s %18s\n", "bytes", "CNK MB/s/node",
               "Linux-path MB/s/node");
+  sim::Json series = sim::Json::array();
   for (std::uint64_t sz : sizes) {
     const double cnk = runExchange(sz, rt::KernelKind::kCnk, nodes);
     const double fwk = runExchange(sz, rt::KernelKind::kFwk, nodes);
     std::printf("%12llu %18.1f %18.1f\n",
                 static_cast<unsigned long long>(sz), cnk, fwk);
+    sim::Json row = sim::Json::object();
+    row.set("bytes", sz);
+    row.set("cnk_mb_s", cnk);
+    row.set("fwk_mb_s", fwk);
+    series.push(std::move(row));
   }
   std::printf("\npaper shape: throughput rises with message size and "
               "saturates at link bandwidth;\nthe kernel-mediated path "
               "saturates lower and later.\n");
+
+  sim::Json j = sim::Json::object();
+  j.set("bench", "throughput");
+  j.set("nodes", static_cast<std::int64_t>(nodes));
+  j.set("iters", static_cast<std::int64_t>(kIters));
+  j.set("quick", quick);
+  j.set("series", std::move(series));
+  if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
   return 0;
 }

@@ -43,6 +43,17 @@ inline double pct(std::uint64_t delta, std::uint64_t base) {
   return 100.0 * static_cast<double>(delta) / static_cast<double>(base);
 }
 
+/// Nearest-rank percentile (q in [0, 100]) of an unsorted sample.
+/// Copies + sorts; fine at bench scale. Returns 0 for an empty sample.
+inline std::uint64_t percentile(std::vector<std::uint64_t> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = q / 100.0 * static_cast<double>(v.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (idx >= v.size()) idx = v.size() - 1;
+  return v[idx];
+}
+
 inline void printRule() {
   std::printf("--------------------------------------------------------------------------\n");
 }

@@ -1,0 +1,178 @@
+#include "frontdoor/protocol.hpp"
+
+#include "msg/wire.hpp"
+
+namespace bg::fd {
+
+namespace {
+
+using msg::wire::Reader;
+using msg::wire::Writer;
+using msg::wire::seal;
+using msg::wire::unseal;
+
+/// Wrap a sealed body in the u32 length-prefix frame.
+std::vector<std::byte> frame(Writer&& body) {
+  std::vector<std::byte> sealed = seal(std::move(body));
+  Writer f;
+  f.u32(static_cast<std::uint32_t>(sealed.size()));
+  std::vector<std::byte> out = std::move(f).take();
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+/// Strip and validate the length prefix, then the checksum seal.
+std::optional<std::span<const std::byte>> deframe(
+    std::span<const std::byte> buf) {
+  Reader lp(buf);
+  std::uint32_t len = 0;
+  if (!lp.u32(&len)) return std::nullopt;
+  if (len != buf.size() - 4) return std::nullopt;  // torn or trailing junk
+  return unseal(buf.subspan(4));
+}
+
+bool validType(std::uint8_t t) {
+  return t <= static_cast<std::uint8_t>(MsgType::kStatsResp);
+}
+
+}  // namespace
+
+std::vector<std::byte> Request::encode() const {
+  Writer w;
+  w.u32(version);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(clientId);
+  w.u64(seq);
+  w.u8(retransmit ? 1 : 0);
+  switch (type) {
+    case MsgType::kSubmit:
+      w.str(jobName);
+      w.u32(kernel);
+      w.u32(nodes);
+      w.u32(processes);
+      w.u64(estCycles);
+      w.u32(maxRetries);
+      w.str(exeName);
+      break;
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+      w.u64(ticket);
+      break;
+    default:
+      break;  // kStats has no payload
+  }
+  return frame(std::move(w));
+}
+
+std::optional<Request> Request::decode(std::span<const std::byte> buf) {
+  const auto body = deframe(buf);
+  if (!body) return std::nullopt;
+  Reader r(*body);
+  Request q;
+  std::uint8_t type = 0;
+  std::uint8_t rt = 0;
+  if (!r.u32(&q.version) || !r.u8(&type) || !r.u32(&q.clientId) ||
+      !r.u64(&q.seq) || !r.u8(&rt) || !validType(type)) {
+    return std::nullopt;
+  }
+  q.type = static_cast<MsgType>(type);
+  q.retransmit = rt != 0;
+  // A foreign version's payload layout is unknowable; stop at the
+  // header so the caller can still address a kBadVersion reply.
+  if (q.version != kProtocolVersion) return q;
+  switch (q.type) {
+    case MsgType::kSubmit:
+      if (!r.str(&q.jobName) || !r.u32(&q.kernel) || !r.u32(&q.nodes) ||
+          !r.u32(&q.processes) || !r.u64(&q.estCycles) ||
+          !r.u32(&q.maxRetries) || !r.str(&q.exeName)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kCancel:
+    case MsgType::kQuery:
+      if (!r.u64(&q.ticket)) return std::nullopt;
+      break;
+    default:
+      break;
+  }
+  return q;
+}
+
+std::vector<std::byte> Response::encode() const {
+  Writer w;
+  w.u32(version);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(clientId);
+  w.u64(seq);
+  w.u8(static_cast<std::uint8_t>(status));
+  switch (type) {
+    case MsgType::kSubmitResp:
+      w.u64(ticket);
+      w.u64(retryAfterCycles);
+      break;
+    case MsgType::kCancelResp:
+      w.u64(ticket);
+      break;
+    case MsgType::kQueryResp:
+      w.u64(ticket);
+      w.u32(jobState);
+      w.u32(jobId);
+      w.i64(exitStatus);
+      break;
+    case MsgType::kStatsResp:
+      w.u64(accepted);
+      w.u64(rejected);
+      w.u64(duplicates);
+      w.u64(queueDepth);
+      w.u64(batchedNow);
+      break;
+    default:
+      break;
+  }
+  return frame(std::move(w));
+}
+
+std::optional<Response> Response::decode(std::span<const std::byte> buf) {
+  const auto body = deframe(buf);
+  if (!body) return std::nullopt;
+  Reader r(*body);
+  Response p;
+  std::uint8_t type = 0;
+  std::uint8_t status = 0;
+  if (!r.u32(&p.version) || !r.u8(&type) || !r.u32(&p.clientId) ||
+      !r.u64(&p.seq) || !r.u8(&status) || !validType(type) ||
+      status > static_cast<std::uint8_t>(Status::kTooLate)) {
+    return std::nullopt;
+  }
+  p.type = static_cast<MsgType>(type);
+  p.status = static_cast<Status>(status);
+  if (p.version != kProtocolVersion) return p;
+  switch (p.type) {
+    case MsgType::kSubmitResp:
+      if (!r.u64(&p.ticket) || !r.u64(&p.retryAfterCycles)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kCancelResp:
+      if (!r.u64(&p.ticket)) return std::nullopt;
+      break;
+    case MsgType::kQueryResp:
+      if (!r.u64(&p.ticket) || !r.u32(&p.jobState) || !r.u32(&p.jobId) ||
+          !r.i64(&p.exitStatus)) {
+        return std::nullopt;
+      }
+      break;
+    case MsgType::kStatsResp:
+      if (!r.u64(&p.accepted) || !r.u64(&p.rejected) ||
+          !r.u64(&p.duplicates) || !r.u64(&p.queueDepth) ||
+          !r.u64(&p.batchedNow)) {
+        return std::nullopt;
+      }
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+}  // namespace bg::fd

@@ -1,96 +1,18 @@
 #include "io/protocol.hpp"
 
-#include <cstring>
-
-#include "sim/hash.hpp"
+#include "msg/wire.hpp"
 
 namespace bg::io {
 
 namespace {
 
-class Writer {
- public:
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void i32(std::int32_t v) { raw(&v, sizeof v); }
-  void i64(std::int64_t v) { raw(&v, sizeof v); }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    raw(s.data(), s.size());
-  }
-  void bytes(const std::vector<std::byte>& b) {
-    u32(static_cast<std::uint32_t>(b.size()));
-    raw(b.data(), b.size());
-  }
-  std::vector<std::byte> take() { return std::move(buf_); }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
-  }
-  std::vector<std::byte> buf_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::byte> buf) : buf_(buf) {}
-
-  bool u32(std::uint32_t* v) { return raw(v, sizeof *v); }
-  bool u64(std::uint64_t* v) { return raw(v, sizeof *v); }
-  bool i32(std::int32_t* v) { return raw(v, sizeof *v); }
-  bool i64(std::int64_t* v) { return raw(v, sizeof *v); }
-  bool str(std::string* s) {
-    std::uint32_t n = 0;
-    if (!u32(&n) || buf_.size() - pos_ < n) return false;
-    s->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
-    return true;
-  }
-  bool bytes(std::vector<std::byte>* b) {
-    std::uint32_t n = 0;
-    if (!u32(&n) || buf_.size() - pos_ < n) return false;
-    b->assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-              buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-    pos_ += n;
-    return true;
-  }
-
- private:
-  bool raw(void* p, std::size_t n) {
-    if (buf_.size() - pos_ < n) return false;
-    std::memcpy(p, buf_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  std::span<const std::byte> buf_;
-  std::size_t pos_ = 0;
-};
-
-/// Append an FNV-1a digest of everything written so far; the wire
-/// format is <body><u64 checksum>.
-std::vector<std::byte> seal(Writer&& w) {
-  std::vector<std::byte> buf = std::move(w).take();
-  const std::uint64_t sum = sim::hashBytes(buf);
-  Writer tail;
-  tail.u64(sum);
-  const std::vector<std::byte> t = std::move(tail).take();
-  buf.insert(buf.end(), t.begin(), t.end());
-  return buf;
-}
-
-/// Verify and strip the trailing checksum; nullopt span on mismatch
-/// (corruption anywhere in the message, checksum included).
-std::optional<std::span<const std::byte>> unseal(
-    std::span<const std::byte> buf) {
-  if (buf.size() < sizeof(std::uint64_t)) return std::nullopt;
-  const std::span<const std::byte> body =
-      buf.first(buf.size() - sizeof(std::uint64_t));
-  std::uint64_t sum = 0;
-  std::memcpy(&sum, buf.data() + body.size(), sizeof sum);
-  if (sim::hashBytes(body) != sum) return std::nullopt;
-  return body;
-}
+// Field framing and the FNV checksum seal are shared with the RPC
+// front door (src/frontdoor) — one wire idiom, pinned byte-for-byte by
+// tests/test_wire.cpp.
+using msg::wire::Reader;
+using msg::wire::Writer;
+using msg::wire::seal;
+using msg::wire::unseal;
 
 }  // namespace
 

@@ -44,6 +44,11 @@ struct RasEvent {
     kEccUncorrectable,  // multi-bit DDR flip: clean panic + coredump
     kCoreHang,          // heartbeat monitor: core stopped retiring
     kCoredump,          // lightweight coredump landed on the I/O node
+    // Front-door admission plane (src/frontdoor). Appended at the end:
+    // RAS codes persist as raw u8 values in checkpoints and RAS logs,
+    // so existing enumerator values must never shift.
+    kClientRejected,    // submit bounced with SERVER_BUSY backpressure
+    kFrontDoorRestart,  // in-flight request table rebuilt from persist
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -66,9 +71,11 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
     case RasEvent::Code::kJobLoaded:
     case RasEvent::Code::kJobExited:
     case RasEvent::Code::kCoredump:
+    case RasEvent::Code::kFrontDoorRestart:
       return RasEvent::Severity::kInfo;
     case RasEvent::Code::kIoTimeout:
     case RasEvent::Code::kEccCorrectable:
+    case RasEvent::Code::kClientRejected:
       return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
     case RasEvent::Code::kEccUncorrectable:
@@ -94,12 +101,14 @@ constexpr const char* rasCodeName(RasEvent::Code c) {
     case RasEvent::Code::kEccUncorrectable: return "ecc_uncorrectable";
     case RasEvent::Code::kCoreHang: return "core_hang";
     case RasEvent::Code::kCoredump: return "coredump";
+    case RasEvent::Code::kClientRejected: return "client_rejected";
+    case RasEvent::Code::kFrontDoorRestart: return "frontdoor_restart";
   }
   return "?";
 }
 
 /// Number of RasEvent::Code values (array sizing in src/svc).
-inline constexpr std::size_t kNumRasCodes = 12;
+inline constexpr std::size_t kNumRasCodes = 14;
 
 class KernelBase : public hw::KernelIf {
  public:

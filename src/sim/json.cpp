@@ -63,6 +63,13 @@ void Json::dumpTo(std::string& out, int indent, int depth) const {
       out += buf;
       break;
     }
+    case Kind::kUint: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    }
     case Kind::kNumber: {
       if (!std::isfinite(num_)) {
         out += "null";

@@ -20,8 +20,9 @@ class Json {
   Json(double d) : kind_(Kind::kNumber), num_(d) {}
   Json(int i) : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
   Json(std::int64_t i) : kind_(Kind::kInt), int_(i) {}
-  Json(std::uint64_t u)
-      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  /// Unsigned values keep their own kind so counters and 64-bit hashes
+  /// above INT64_MAX print as themselves, not as negative numbers.
+  Json(std::uint64_t u) : kind_(Kind::kUint), uint_(u) {}
   Json(const char* s) : kind_(Kind::kString), str_(s) {}
   Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
 
@@ -51,7 +52,9 @@ class Json {
   bool writeFile(const std::string& path, int indent = 2) const;
 
  private:
-  enum class Kind { kNull, kBool, kNumber, kInt, kString, kObject, kArray };
+  enum class Kind {
+    kNull, kBool, kNumber, kInt, kUint, kString, kObject, kArray
+  };
 
   void dumpTo(std::string& out, int indent, int depth) const;
   static void appendEscaped(std::string& out, const std::string& s);
@@ -59,6 +62,7 @@ class Json {
   Kind kind_;
   double num_ = 0;
   std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
   std::string str_;
   std::vector<std::pair<std::string, Json>> members_;  // object
   std::vector<Json> elements_;                         // array

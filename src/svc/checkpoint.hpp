@@ -34,7 +34,11 @@ struct PendingNodeOp {
 };
 
 struct SvcCheckpoint {
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: the RAS section appended after this image grew two codes
+  // (kClientRejected / kFrontDoorRestart), widening the per-code tally
+  // arrays from 12 to 14 entries. Images are in-run only, but the
+  // version gate keeps a stale-layout image from half-decoding.
+  static constexpr std::uint32_t kVersion = 3;
 
   struct JobEntry {
     JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty

@@ -73,6 +73,16 @@ JobId ServiceHost::submit(JobDesc desc) {
   return 0;
 }
 
+std::vector<JobId> ServiceHost::submitBatch(std::vector<JobDesc> descs) {
+  for (const JobDesc& d : descs) {
+    store_.registerImage(d.exe);
+    for (const auto& lib : d.libs) store_.registerImage(lib);
+  }
+  if (alive()) return sn_->submitBatch(std::move(descs));
+  for (JobDesc& d : descs) pending_.push_back(std::move(d));
+  return {};
+}
+
 void ServiceHost::start() {
   started_ = true;
   if (alive()) sn_->start();
@@ -96,6 +106,7 @@ bool ServiceHost::restart() {
   }
   for (JobDesc& d : pending_) sn_->submit(std::move(d));
   pending_.clear();
+  if (restartHook_) restartHook_();
   return warm;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -93,6 +94,20 @@ class ServiceHost {
   /// order. Buffered submissions return 0 (the id is assigned later).
   JobId submit(JobDesc desc);
 
+  /// Batch counterpart of submit(): one pump poke + one checkpoint for
+  /// the whole batch (front-door flushes). While crashed the batch is
+  /// buffered like single submissions; the returned vector is then
+  /// empty (ids are assigned on restart).
+  std::vector<JobId> submitBatch(std::vector<JobDesc> descs);
+
+  /// Invoked at the end of every restart(), after the new control
+  /// plane is live and buffered submissions have been flushed. The
+  /// front door uses this to rebuild its in-flight request table from
+  /// its own persisted region.
+  void setRestartHook(std::function<void()> hook) {
+    restartHook_ = std::move(hook);
+  }
+
   void start();
 
   /// Fail-stop: destroy the control plane now. Jobs already running on
@@ -129,6 +144,7 @@ class ServiceHost {
   CheckpointStore store_;
   std::unique_ptr<ServiceNode> sn_;
   std::vector<JobDesc> pending_;  // submissions buffered while down
+  std::function<void()> restartHook_;
   bool started_ = false;
   std::uint64_t crashes_ = 0;
   std::uint64_t restarts_ = 0;

@@ -40,7 +40,8 @@ enum class JobState : std::uint8_t {
   kQueued,
   kRunning,
   kCompleted,
-  kFailed,  // nonzero exit, or retries exhausted after node loss
+  kFailed,     // nonzero exit, or retries exhausted after node loss
+  kCancelled,  // pulled from the queue by a front-door CANCEL
 };
 
 constexpr const char* jobStateName(JobState s) {
@@ -49,6 +50,7 @@ constexpr const char* jobStateName(JobState s) {
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
     case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
   }
   return "?";
 }

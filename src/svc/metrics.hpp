@@ -17,7 +17,8 @@ struct SvcMetrics {
   std::uint64_t jobsSubmitted = 0;
   std::uint64_t jobsCompleted = 0;
   std::uint64_t jobsFailed = 0;
-  std::uint64_t jobRetries = 0;  // relaunches after node loss
+  std::uint64_t jobsCancelled = 0;  // pulled from queue via front door
+  std::uint64_t jobRetries = 0;     // relaunches after node loss
 
   // Time base.
   sim::Cycle elapsedCycles = 0;
@@ -71,6 +72,7 @@ struct SvcMetrics {
     j.set("jobs_submitted", jobsSubmitted);
     j.set("jobs_completed", jobsCompleted);
     j.set("jobs_failed", jobsFailed);
+    j.set("jobs_cancelled", jobsCancelled);
     j.set("job_retries", jobRetries);
     j.set("elapsed_cycles", elapsedCycles);
     j.set("elapsed_seconds", elapsedSeconds);

@@ -18,6 +18,18 @@ void RasAggregator::injectNodeFailure(int node, std::uint64_t detail) {
   }
 }
 
+void RasAggregator::reportLocal(kernel::RasEvent e) {
+  ++bySeverity_[static_cast<std::size_t>(e.severity)];
+  ++byCode_[static_cast<std::size_t>(e.code)];
+  if (!admit(e)) return;
+  stream_.push_back(SvcRasEvent{-1, e});
+  ++accepted_;
+  while (stream_.size() > cfg_.streamCapacity) {
+    stream_.pop_front();
+    ++streamDropped_;
+  }
+}
+
 bool RasAggregator::admit(const kernel::RasEvent& e) {
   if (e.severity == kernel::RasEvent::Severity::kFatal) return true;
   CodeWindow& w = windows_[static_cast<std::size_t>(e.code)];

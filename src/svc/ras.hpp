@@ -82,6 +82,14 @@ class RasAggregator {
   /// kernel; the next poll() routes it like any other fatal event.
   void injectNodeFailure(int node, std::uint64_t detail);
 
+  /// Service-node-originated event (e.g. the front door's admission
+  /// plane): there is no kernel ring behind it, so it enters the
+  /// stream directly as node -1, but passes the same per-code throttle
+  /// window and feeds the same severity/code tallies as kernel events.
+  /// Reaction handlers (fatal / warn-storm / io-dead) are node-scoped
+  /// and are not invoked for local events.
+  void reportLocal(kernel::RasEvent e);
+
   /// kWarn events from `node` inside the sliding window ending at the
   /// node's most recent warn.
   std::uint32_t warnsInWindow(int node) const;
@@ -126,7 +134,9 @@ class RasAggregator {
     std::uint32_t inWindow = 0;
   };
 
-  static constexpr std::size_t kNumCodes = 12;
+  // Sized from the kernel enum so a new RAS code can never silently
+  // under-size the tally arrays here.
+  static constexpr std::size_t kNumCodes = kernel::kNumRasCodes;
   static constexpr std::size_t kNumSeverities = 4;
 
   bool admit(const kernel::RasEvent& e);

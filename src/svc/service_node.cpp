@@ -46,7 +46,7 @@ std::function<void()> ServiceNode::guarded(std::function<void()> fn) {
   };
 }
 
-JobId ServiceNode::submit(JobDesc desc) {
+JobId ServiceNode::submitOne(JobDesc desc) {
   if (store_ != nullptr) {
     // The executable "lives on the shared filesystem": checkpoints
     // reference it by name and a restarted control plane re-resolves
@@ -62,10 +62,39 @@ JobId ServiceNode::submit(JobDesc desc) {
   note("submit", jr.id, jr.submitCycle);
   queue_.push_back(jr.id);
   jobs_.push_back(std::move(jr));
-  const JobId id = jobs_.back().id;
+  return jobs_.back().id;
+}
+
+JobId ServiceNode::submit(JobDesc desc) {
+  const JobId id = submitOne(std::move(desc));
   if (started_) schedulePump();
   checkpointWriteThrough();
   return id;
+}
+
+std::vector<JobId> ServiceNode::submitBatch(std::vector<JobDesc> descs) {
+  std::vector<JobId> ids;
+  ids.reserve(descs.size());
+  for (JobDesc& d : descs) ids.push_back(submitOne(std::move(d)));
+  if (ids.empty()) return ids;
+  if (started_) schedulePump();
+  checkpointWriteThrough();
+  return ids;
+}
+
+bool ServiceNode::cancelQueued(JobId id) {
+  JobRecord* jr = find(id);
+  if (jr == nullptr || jr->state != JobState::kQueued) return false;
+  const auto it = std::find(queue_.begin(), queue_.end(), id);
+  if (it == queue_.end()) return false;  // mid-requeue edge: not ours
+  queue_.erase(it);
+  const sim::Cycle now = engine().now();
+  jr->state = JobState::kCancelled;
+  jr->endCycle = now;
+  lastEnd_ = now;
+  note("cancel", id, now);
+  checkpointWriteThrough();
+  return true;
 }
 
 void ServiceNode::start() {
@@ -780,6 +809,7 @@ SvcMetrics ServiceNode::metrics() {
   for (const JobRecord& jr : jobs_) {
     if (jr.state == JobState::kCompleted) ++m.jobsCompleted;
     if (jr.state == JobState::kFailed) ++m.jobsFailed;
+    if (jr.state == JobState::kCancelled) ++m.jobsCancelled;
   }
   m.jobRetries = retries_;
   const sim::Cycle end = lastEnd_ != 0 ? lastEnd_ : now;

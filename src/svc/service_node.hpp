@@ -97,6 +97,21 @@ class ServiceNode {
   /// the job id (ids start at 1).
   JobId submit(JobDesc desc);
 
+  /// Enqueue a whole batch in one control-plane step: per-job hash
+  /// notes are identical to N submit() calls at the same cycle, but
+  /// the pump poke and (write-through) checkpoint happen once — the
+  /// front door's amortization lever under burst (O(state) checkpoint
+  /// cost per *batch*, not per request).
+  std::vector<JobId> submitBatch(std::vector<JobDesc> descs);
+
+  /// Cancel a job that is still waiting in the queue (front-door
+  /// CANCEL). Returns false when the job is unknown or already left
+  /// the queue (running/finished) — the caller reports "too late".
+  bool cancelQueued(JobId id);
+
+  /// Jobs waiting in the scheduler queue (admission-control input).
+  std::size_t queueDepth() const { return queue_.size(); }
+
   /// Boot every not-yet-booted kernel (lifecycle reset → booting →
   /// ready) and start the control loop. Idempotent.
   void start();
@@ -161,6 +176,10 @@ class ServiceNode {
   /// Wrap an event so it dies with this instance: a crashed service
   /// node's pending pumps/timers must not fire into the replacement.
   std::function<void()> guarded(std::function<void()> fn);
+
+  /// Shared body of submit()/submitBatch(): record + hash note + queue
+  /// insert, with the pump poke and checkpoint left to the caller.
+  JobId submitOne(JobDesc desc);
 
   void schedulePump();
   void schedulePumpAt(sim::Cycle due);

@@ -5,6 +5,8 @@
 // its edge.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "runtime/app.hpp"
@@ -204,6 +206,34 @@ TEST(RasEdges, WarnWindowEdgeEvictsExactlyAtWindowAge) {
   agg.poll(2'000);
   EXPECT_EQ(storms, 1);
   EXPECT_EQ(agg.warnsInWindow(0), 0u);
+}
+
+// Every RAS code enumerator — including the front-door codes appended
+// for admission rejections and restarts — must have a distinct,
+// non-placeholder name: operators grep the aggregated stream by name,
+// and a "?" or a collision makes two failure classes indistinguishable.
+TEST(RasEdges, EveryCodeHasADistinctName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kernel::kNumRasCodes; ++i) {
+    const auto code = static_cast<RasEvent::Code>(i);
+    const char* name = kernel::rasCodeName(code);
+    ASSERT_NE(name, nullptr) << "code " << i;
+    EXPECT_STRNE(name, "?") << "code " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "code " << i << " reuses name " << name;
+  }
+  EXPECT_EQ(names.size(), kernel::kNumRasCodes);
+  // The front-door additions landed at the end of the enum (persisted
+  // u8 values must never shift) with the intended names and default
+  // severities.
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kClientRejected),
+               "client_rejected");
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kFrontDoorRestart),
+               "frontdoor_restart");
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kClientRejected),
+            RasEvent::Severity::kWarn);
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kFrontDoorRestart),
+            RasEvent::Severity::kInfo);
 }
 
 }  // namespace

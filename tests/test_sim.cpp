@@ -3,6 +3,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/hash.hpp"
+#include "sim/json.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
@@ -181,6 +182,41 @@ TEST(Types, CycleConversionsRoundTrip) {
   EXPECT_EQ(usToCycles(1.0), 850u);
   EXPECT_DOUBLE_EQ(cyclesToUs(850), 1.0);
   EXPECT_DOUBLE_EQ(cyclesToSec(kCoreHz), 1.0);
+}
+
+TEST(Json, EscapesStringsAndControlBytes) {
+  Json j = Json::object();
+  j.set("quote", "a\"b");
+  j.set("backslash", "a\\b");
+  j.set("newline", "a\nb\tc");
+  j.set("control", std::string("a\x01z"));
+  const std::string out = j.dump(0);
+  EXPECT_NE(out.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\\\\b\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\\nb\\tc\""), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, EmptyContainersDump) {
+  Json j = Json::object();
+  j.set("arr", Json::array());
+  j.set("obj", Json::object());
+  EXPECT_EQ(j.dump(0), "{\"arr\":[],\"obj\":{}}");
+}
+
+// 64-bit hashes and counters above INT64_MAX must print as themselves;
+// diff_runs.py reads them back and a negative value would silently
+// corrupt every schedule-hash comparison.
+TEST(Json, LargeU64RoundTripsUnsigned) {
+  Json j = Json::object();
+  j.set("max", static_cast<std::uint64_t>(0xFFFFFFFFFFFFFFFFULL));
+  j.set("half", static_cast<std::uint64_t>(0x8000000000000000ULL));
+  j.set("small", static_cast<std::uint64_t>(7));
+  const std::string out = j.dump(0);
+  EXPECT_NE(out.find("\"max\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(out.find("\"half\":9223372036854775808"), std::string::npos);
+  EXPECT_NE(out.find("\"small\":7"), std::string::npos);
+  EXPECT_EQ(out.find('-'), std::string::npos);
 }
 
 }  // namespace
