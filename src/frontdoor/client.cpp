@@ -215,6 +215,13 @@ void FdClient::onPacket(hw::CollPacket&& p) {
           });
           break;
         }
+        case Status::kQuotaExceeded:
+          // The account is over quota, not the server over load: a
+          // resubmit would bounce identically until other jobs drain,
+          // so the op terminates here (no busy-style retry loop).
+          ++counters_.quotaRejected;
+          finish(seq, false);
+          break;
         default:
           ++counters_.rejectedOther;
           finish(seq, false);

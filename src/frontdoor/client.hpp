@@ -65,6 +65,7 @@ class FdClient {
     std::uint64_t busyAbandoned = 0;
     std::uint64_t abandoned = 0;     // ops out of transmit attempts
     std::uint64_t acked = 0;         // submits answered kOk
+    std::uint64_t quotaRejected = 0;  // kQuotaExceeded; not retried
     std::uint64_t rejectedOther = 0;  // bad version / bad request
     std::uint64_t dupResponses = 0;  // responses for finished ops
     std::uint64_t badResponses = 0;  // frames that failed decode

@@ -10,7 +10,9 @@ namespace bg::fd {
 namespace {
 constexpr std::uint64_t kFdMagic = 0x42474644'494E464CULL;  // "BGFDINFL"
 constexpr std::uint64_t kFdHeaderBytes = 24;
-constexpr std::uint32_t kFdImageVersion = 1;
+// v2: PendingSub carries the resolved account id; stats persist the
+// quota-reject counter.
+constexpr std::uint32_t kFdImageVersion = 2;
 constexpr const char* kFdRegionName = "fd.inflight";
 }  // namespace
 
@@ -148,6 +150,35 @@ void FrontDoor::handleSubmit(const Request& q, int replyTo) {
     return;
   }
 
+  // Per-account admission (multi-tenant plane): a maxQueued quota
+  // bounce is a distinct, non-retryable status — the account is full,
+  // not the server. Jobs accepted but not yet flushed count against
+  // the quota too, so a burst can't slip past between flushes.
+  const svc::AccountId account =
+      cfg_.accountOf ? cfg_.accountOf(q.clientId) : 0;
+  if (account != 0) {
+    std::uint32_t batched = 0;
+    for (std::uint64_t t : batch_) {
+      if (pending_.at(t).account == account) ++batched;
+    }
+    if (!node().accounting().admitQueued(account, batched)) {
+      ++stats_.quotaRejected;
+      node().accounting().onQuotaReject(account);
+      p.status = Status::kQuotaExceeded;
+      mix("quota", q.clientId, q.seq);
+      kernel::RasEvent e;
+      e.cycle = engine_.now();
+      e.code = kernel::RasEvent::Code::kQuotaRejected;
+      e.severity = kernel::RasEvent::Severity::kWarn;
+      e.pid = q.clientId;
+      e.detail = account;
+      node().ras().reportLocal(e);
+      cacheAndSend(q, p, replyTo);
+      persistIfOn();
+      return;
+    }
+  }
+
   const std::uint64_t ticket = nextTicket_++;
   PendingSub ps;
   ps.clientId = q.clientId;
@@ -159,6 +190,7 @@ void FrontDoor::handleSubmit(const Request& q, int replyTo) {
   ps.estCycles = q.estCycles;
   ps.maxRetries = q.maxRetries;
   ps.exeName = q.exeName;
+  ps.account = account;
   pending_.emplace(ticket, std::move(ps));
   batch_.push_back(ticket);
   ++stats_.accepted;
@@ -316,6 +348,7 @@ void FrontDoor::flush() {
     jd.exe = host_.store().image(ps.exeName);
     jd.estCycles = ps.estCycles;
     jd.maxRetries = static_cast<int>(ps.maxRetries);
+    jd.account = ps.account;
     descs.push_back(std::move(jd));
   }
   const std::vector<svc::JobId> ids = host_.submitBatch(std::move(descs));
@@ -352,6 +385,7 @@ bool FrontDoor::saveImage() {
   w.u64(nextTicket_);
   w.u64(stats_.accepted);
   w.u64(stats_.rejected);
+  w.u64(stats_.quotaRejected);
   w.u64(stats_.flushes);
   w.u64(stats_.flushedJobs);
   w.u64(pending_.size());
@@ -368,6 +402,7 @@ bool FrontDoor::saveImage() {
     w.u64(ps.estCycles);
     w.u32(ps.maxRetries);
     w.str(ps.exeName);
+    w.u32(ps.account);
   }
   w.u64(batch_.size());
   for (std::uint64_t t : batch_) w.u64(t);
@@ -416,6 +451,7 @@ bool FrontDoor::loadImage() {
   const std::uint64_t nextTicket = rd.u64();
   const std::uint64_t accepted = rd.u64();
   const std::uint64_t rejected = rd.u64();
+  const std::uint64_t quotaRejected = rd.u64();
   const std::uint64_t flushes = rd.u64();
   const std::uint64_t flushedJobs = rd.u64();
 
@@ -435,6 +471,7 @@ bool FrontDoor::loadImage() {
     ps.estCycles = rd.u64();
     ps.maxRetries = rd.u32();
     ps.exeName = rd.str();
+    ps.account = rd.u32();
     pending.emplace(t, std::move(ps));
   }
   std::vector<std::uint64_t> batch;
@@ -463,6 +500,7 @@ bool FrontDoor::loadImage() {
   nextTicket_ = nextTicket;
   stats_.accepted = accepted;
   stats_.rejected = rejected;
+  stats_.quotaRejected = quotaRejected;
   stats_.flushes = flushes;
   stats_.flushedJobs = flushedJobs;
   pending_ = std::move(pending);

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "sim/engine.hpp"
 #include "sim/hash.hpp"
 #include "svc/failover.hpp"
+#include "svc/job.hpp"
 
 namespace bg::fd {
 
@@ -60,12 +62,18 @@ struct FrontDoorConfig {
   /// it survives control-plane crashes.
   bool persist = false;
   std::uint64_t persistRegionBytes = 1ULL << 20;
+  /// Multi-tenant identity: map a wire clientId to an accounting
+  /// AccountId. Unset (or returning 0) = anonymous single-tenant
+  /// traffic; no quota checks, no account tagging — and therefore no
+  /// change to the admission digest.
+  std::function<svc::AccountId(std::uint32_t)> accountOf;
 };
 
 struct FrontDoorStats {
   std::uint64_t requests = 0;  // decoded frames (any type)
   std::uint64_t accepted = 0;
-  std::uint64_t rejected = 0;  // kServerBusy bounces
+  std::uint64_t rejected = 0;       // kServerBusy bounces
+  std::uint64_t quotaRejected = 0;  // kQuotaExceeded bounces (maxQueued)
   std::uint64_t badVersion = 0;
   std::uint64_t badRequests = 0;
   std::uint64_t corrupt = 0;  // frames that failed decode
@@ -98,7 +106,8 @@ class FrontDoor {
 
   const FrontDoorStats& stats() const { return stats_; }
   /// FNV digest over every admission decision (accept / reject /
-  /// cancel / flush / restart-resubmit) — the front door's half of the
+  /// quota-reject / cancel / flush / restart-resubmit) — the front
+  /// door's half of the
   /// determinism witness. Duplicates, queries, and stats requests are
   /// deliberately NOT mixed: a duplicates-only fault run must digest
   /// identically to a clean run.
@@ -130,6 +139,7 @@ class FrontDoor {
     std::uint64_t estCycles = 0;
     std::uint32_t maxRetries = 0;
     std::string exeName;
+    svc::AccountId account = 0;  // resolved at accept time
   };
 
   /// Enough of a response to reconstruct it for a retransmit replay.

@@ -141,7 +141,7 @@ std::optional<Response> Response::decode(std::span<const std::byte> buf) {
   std::uint8_t status = 0;
   if (!r.u32(&p.version) || !r.u8(&type) || !r.u32(&p.clientId) ||
       !r.u64(&p.seq) || !r.u8(&status) || !validType(type) ||
-      status > static_cast<std::uint8_t>(Status::kTooLate)) {
+      status > static_cast<std::uint8_t>(Status::kQuotaExceeded)) {
     return std::nullopt;
   }
   p.type = static_cast<MsgType>(type);

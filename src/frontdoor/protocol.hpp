@@ -80,6 +80,7 @@ enum class Status : std::uint8_t {
   kBadRequest,     // malformed/unresolvable submit (unknown exe, ...)
   kUnknownTicket,  // cancel/query for a ticket the server never issued
   kTooLate,        // cancel arrived after the job left the queue
+  kQuotaExceeded,  // account hit a fair-share limit; not a retry hint
 };
 
 constexpr const char* statusName(Status s) {
@@ -90,6 +91,7 @@ constexpr const char* statusName(Status s) {
     case Status::kBadRequest: return "bad_request";
     case Status::kUnknownTicket: return "unknown_ticket";
     case Status::kTooLate: return "too_late";
+    case Status::kQuotaExceeded: return "quota_exceeded";
   }
   return "?";
 }

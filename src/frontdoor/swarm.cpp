@@ -82,6 +82,7 @@ Swarm::Totals Swarm::totals() const {
     t.busyAbandoned += k.busyAbandoned;
     t.abandoned += k.abandoned;
     t.acked += k.acked;
+    t.quotaRejected += k.quotaRejected;
     t.rejectedOther += k.rejectedOther;
     t.dupResponses += k.dupResponses;
     t.badResponses += k.badResponses;

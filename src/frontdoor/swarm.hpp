@@ -62,6 +62,7 @@ class Swarm {
     std::uint64_t busyAbandoned = 0;
     std::uint64_t abandoned = 0;
     std::uint64_t acked = 0;
+    std::uint64_t quotaRejected = 0;
     std::uint64_t rejectedOther = 0;
     std::uint64_t dupResponses = 0;
     std::uint64_t badResponses = 0;

@@ -49,6 +49,8 @@ struct RasEvent {
     // so existing enumerator values must never shift.
     kClientRejected,    // submit bounced with SERVER_BUSY backpressure
     kFrontDoorRestart,  // in-flight request table rebuilt from persist
+    // Multi-tenant control plane (svc::Accounting).
+    kQuotaRejected,     // submit bounced on a per-account limit
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -76,6 +78,7 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
     case RasEvent::Code::kIoTimeout:
     case RasEvent::Code::kEccCorrectable:
     case RasEvent::Code::kClientRejected:
+    case RasEvent::Code::kQuotaRejected:
       return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
     case RasEvent::Code::kEccUncorrectable:
@@ -103,12 +106,13 @@ constexpr const char* rasCodeName(RasEvent::Code c) {
     case RasEvent::Code::kCoredump: return "coredump";
     case RasEvent::Code::kClientRejected: return "client_rejected";
     case RasEvent::Code::kFrontDoorRestart: return "frontdoor_restart";
+    case RasEvent::Code::kQuotaRejected: return "quota_rejected";
   }
   return "?";
 }
 
 /// Number of RasEvent::Code values (array sizing in src/svc).
-inline constexpr std::size_t kNumRasCodes = 14;
+inline constexpr std::size_t kNumRasCodes = 15;
 
 class KernelBase : public hw::KernelIf {
  public:

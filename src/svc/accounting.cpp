@@ -1,0 +1,207 @@
+#include "svc/accounting.hpp"
+
+namespace bg::svc {
+
+const AccountUsage Accounting::kZeroUsage{};
+
+Accounting::Accounting(FairShareConfig cfg) : cfg_(std::move(cfg)) {
+  // The share tree must be acyclic: a parent link that is not a
+  // strictly lower-numbered account is treated as "top level" rather
+  // than risking a cycle in score computation.
+  for (std::size_t i = 0; i < cfg_.accounts.size(); ++i) {
+    AccountSpec& a = cfg_.accounts[i];
+    if (a.parent >= i + 1) a.parent = 0;
+    if (a.shares == 0) a.shares = 1;  // zero-share would div-by-zero
+  }
+  if (cfg_.decayPeriodCycles == 0) cfg_.decayPeriodCycles = 2'000'000;
+  if (cfg_.decayShift > 32) cfg_.decayShift = 32;
+  // Decay factor must be < 1 or usage grows without bound.
+  const std::uint64_t one = std::uint64_t{1} << cfg_.decayShift;
+  if (cfg_.decayNumer >= one) cfg_.decayNumer = one - 1;
+  usage_.resize(cfg_.accounts.size());
+}
+
+const AccountSpec* Accounting::spec(AccountId id) const {
+  if (!valid(id)) return nullptr;
+  return &cfg_.accounts[static_cast<std::size_t>(id - 1)];
+}
+
+const AccountUsage& Accounting::usage(AccountId id) const {
+  if (!valid(id)) return kZeroUsage;
+  return at(id);
+}
+
+void Accounting::onQueued(AccountId id) {
+  if (!valid(id)) return;
+  ++at(id).queuedJobs;
+}
+
+void Accounting::onDequeued(AccountId id) {
+  if (!valid(id)) return;
+  AccountUsage& u = at(id);
+  if (u.queuedJobs > 0) --u.queuedJobs;
+}
+
+void Accounting::onLaunch(AccountId id, int nodes) {
+  if (!valid(id)) return;
+  AccountUsage& u = at(id);
+  ++u.runningJobs;
+  u.nodesInUse += static_cast<std::uint32_t>(nodes);
+}
+
+void Accounting::onStop(AccountId id, int nodes, std::uint64_t nodeCycles,
+                        sim::Cycle now) {
+  if (!valid(id)) return;
+  // Advance the grid first so the charge lands at the epoch of `now`
+  // no matter how often callers decayed in between (multiplicative
+  // epoch decay composes, so extra decayTo calls never skew state).
+  decayTo(now);
+  AccountUsage& u = at(id);
+  if (u.runningJobs > 0) --u.runningJobs;
+  const auto n = static_cast<std::uint32_t>(nodes);
+  u.nodesInUse = u.nodesInUse >= n ? u.nodesInUse - n : 0;
+  u.decayedUsage += nodeCycles;
+  u.lifetimeUsage += nodeCycles;
+}
+
+void Accounting::onCompleted(AccountId id, bool ok) {
+  if (!valid(id)) return;
+  if (ok) {
+    ++at(id).jobsCompleted;
+  } else {
+    ++at(id).jobsFailed;
+  }
+}
+
+void Accounting::onPreempted(AccountId id) {
+  if (!valid(id)) return;
+  ++at(id).preemptions;
+}
+
+void Accounting::onQuotaReject(AccountId id) {
+  if (!valid(id)) return;
+  ++at(id).quotaRejects;
+}
+
+void Accounting::decayTo(sim::Cycle now) {
+  if (!enabled()) return;
+  const std::uint64_t epoch = now / cfg_.decayPeriodCycles;
+  if (epoch <= decayEpoch_) return;
+  std::uint64_t steps = epoch - decayEpoch_;
+  decayEpoch_ = epoch;
+  // Cap the work: after 64 shifts' worth of halvings everything is 0
+  // anyway, and usage values fit u64.
+  if (steps > 64) steps = 64;
+  for (AccountUsage& u : usage_) {
+    for (std::uint64_t s = 0; s < steps && u.decayedUsage != 0; ++s) {
+      u.decayedUsage = (u.decayedUsage * cfg_.decayNumer) >> cfg_.decayShift;
+    }
+  }
+}
+
+bool Accounting::admitQueued(AccountId id, std::uint32_t extraQueued) const {
+  const AccountSpec* s = spec(id);
+  if (s == nullptr || s->maxQueued == 0) return true;
+  return at(id).queuedJobs + extraQueued < s->maxQueued;
+}
+
+std::uint64_t Accounting::subtreeUsage(AccountId id) const {
+  std::uint64_t total = at(id).decayedUsage;
+  for (std::size_t i = 0; i < cfg_.accounts.size(); ++i) {
+    if (cfg_.accounts[i].parent == id) {
+      total += subtreeUsage(static_cast<AccountId>(i + 1));
+    }
+  }
+  return total;
+}
+
+std::uint64_t Accounting::fairShareScore(AccountId id) const {
+  if (!valid(id)) return 0;
+  // Walk root -> leaf multiplying entitled-share / observed-usage
+  // ratios, both in 2^16 fixed point. An under-served account (usage
+  // below its share) scores high; an over-served one scores low. The
+  // epsilon keeps zero-usage accounts finite and favored.
+  constexpr std::uint64_t kOne = std::uint64_t{1} << 16;
+  constexpr std::uint64_t kEps = std::uint64_t{1} << 8;
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 40;
+  // Build the ancestor chain (parent ids strictly decrease).
+  std::vector<AccountId> chain;
+  for (AccountId a = id; a != 0; a = spec(a)->parent) chain.push_back(a);
+  std::uint64_t factor = kOne;
+  std::uint64_t totalUse = 0;
+  for (std::size_t i = 0; i < cfg_.accounts.size(); ++i) {
+    if (cfg_.accounts[i].parent == 0) {
+      totalUse += subtreeUsage(static_cast<AccountId>(i + 1));
+    }
+  }
+  for (std::size_t ci = chain.size(); ci-- > 0;) {
+    const AccountId a = chain[ci];
+    const AccountSpec& s = *spec(a);
+    std::uint64_t sumShares = 0;
+    for (const AccountSpec& sib : cfg_.accounts) {
+      if (sib.parent == s.parent) sumShares += sib.shares;
+    }
+    const std::uint64_t share16 = (std::uint64_t{s.shares} * kOne) /
+                                  (sumShares == 0 ? 1 : sumShares);
+    const std::uint64_t parentUse =
+        s.parent == 0 ? totalUse : subtreeUsage(s.parent);
+    const std::uint64_t use16 =
+        parentUse == 0 ? 0 : (subtreeUsage(a) * kOne) / parentUse;
+    factor = factor * share16 / (use16 + kEps);
+    if (factor > kCap) factor = kCap;
+  }
+  return factor;
+}
+
+std::uint64_t Accounting::stateDigest() const {
+  sim::Fnv1a h;
+  h.mix(decayEpoch_);
+  for (const AccountUsage& u : usage_) {
+    h.mix(u.decayedUsage);
+    h.mix(u.lifetimeUsage);
+    h.mix(u.queuedJobs);
+    h.mix(u.runningJobs);
+    h.mix(u.nodesInUse);
+    h.mix(u.jobsCompleted);
+    h.mix(u.jobsFailed);
+    h.mix(u.preemptions);
+    h.mix(u.quotaRejects);
+  }
+  return h.digest();
+}
+
+void Accounting::saveTo(sim::ByteWriter& w) const {
+  w.u64(usage_.size());
+  w.u64(decayEpoch_);
+  for (const AccountUsage& u : usage_) {
+    w.u64(u.decayedUsage);
+    w.u64(u.lifetimeUsage);
+    w.u32(u.queuedJobs);
+    w.u32(u.runningJobs);
+    w.u32(u.nodesInUse);
+    w.u64(u.jobsCompleted);
+    w.u64(u.jobsFailed);
+    w.u64(u.preemptions);
+    w.u64(u.quotaRejects);
+  }
+}
+
+bool Accounting::loadFrom(sim::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n != usage_.size()) return false;
+  decayEpoch_ = r.u64();
+  for (AccountUsage& u : usage_) {
+    u.decayedUsage = r.u64();
+    u.lifetimeUsage = r.u64();
+    u.queuedJobs = r.u32();
+    u.runningJobs = r.u32();
+    u.nodesInUse = r.u32();
+    u.jobsCompleted = r.u64();
+    u.jobsFailed = r.u64();
+    u.preemptions = r.u64();
+    u.quotaRejects = r.u64();
+  }
+  return r.ok();
+}
+
+}  // namespace bg::svc

@@ -13,6 +13,7 @@ void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e) {
   w.u64(j.desc.sharedMemBytes);
   w.u64(j.desc.estCycles);
   w.u32(static_cast<std::uint32_t>(j.desc.maxRetries));
+  w.u32(j.desc.account);
   w.str(e.exeName);
   w.u64(e.libNames.size());
   for (const std::string& n : e.libNames) w.str(n);
@@ -30,6 +31,7 @@ void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e) {
     w.u32(pid);
   }
   w.i64(j.exitStatus);
+  w.u32(static_cast<std::uint32_t>(j.preemptCount));
 }
 
 bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
@@ -42,6 +44,7 @@ bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
   j.desc.sharedMemBytes = r.u64();
   j.desc.estCycles = r.u64();
   j.desc.maxRetries = static_cast<int>(r.u32());
+  j.desc.account = r.u32();
   e.exeName = r.str();
   const std::uint64_t nl = r.u64();
   for (std::uint64_t i = 0; i < nl && r.ok(); ++i) {
@@ -64,6 +67,7 @@ bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
     j.pids.emplace_back(node, pid);
   }
   j.exitStatus = r.i64();
+  j.preemptCount = static_cast<int>(r.u32());
   return r.ok();
 }
 
@@ -82,6 +86,7 @@ void SvcCheckpoint::encode(sim::ByteWriter& w) const {
   w.u64(nodesRetired);
   w.u64(requeueLatencyTotal);
   w.u64(requeueCount);
+  w.u64(preemptions);
   w.u64(firstSubmit);
   w.u64(lastEnd);
   w.u64(pumpDue);
@@ -120,6 +125,7 @@ bool SvcCheckpoint::decode(sim::ByteReader& r) {
   nodesRetired = r.u64();
   requeueLatencyTotal = r.u64();
   requeueCount = r.u64();
+  preemptions = r.u64();
   firstSubmit = r.u64();
   lastEnd = r.u64();
   pumpDue = r.u64();

@@ -38,7 +38,11 @@ struct SvcCheckpoint {
   // (kClientRejected / kFrontDoorRestart), widening the per-code tally
   // arrays from 12 to 14 entries. Images are in-run only, but the
   // version gate keeps a stale-layout image from half-decoding.
-  static constexpr std::uint32_t kVersion = 3;
+  // v4: multi-tenant control plane — job entries carry account id and
+  // preemption count, the header carries the preemption counter, a
+  // 15th RAS code (kQuotaRejected) widens the tally arrays again, and
+  // an svc::Accounting section follows the RAS section.
+  static constexpr std::uint32_t kVersion = 4;
 
   struct JobEntry {
     JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty
@@ -59,6 +63,8 @@ struct SvcCheckpoint {
   /// job disposition, summed, with the sample count.
   std::uint64_t requeueLatencyTotal = 0;
   std::uint64_t requeueCount = 0;
+  /// Jobs killed and requeued for higher-QOS work (v4).
+  std::uint64_t preemptions = 0;
   sim::Cycle firstSubmit = 0;
   sim::Cycle lastEnd = 0;
   /// Absolute cycle the next control-loop pump was scheduled for;

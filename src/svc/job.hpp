@@ -18,6 +18,11 @@ namespace bg::svc {
 
 using JobId = std::uint32_t;
 
+/// Account handle stamped on jobs by the front door (mapped from the
+/// requesting clientId). 0 = unaccounted single-tenant default; real
+/// accounts are defined in svc::FairShareConfig.
+using AccountId = std::uint32_t;
+
 /// A job as submitted: which kernel personality it needs (CNK or the
 /// FWK baseline — MultiK-style per-job kernel selection), how many
 /// nodes, and the program to run on each of them.
@@ -34,6 +39,8 @@ struct JobDesc {
   sim::Cycle estCycles = 1'000'000;
   /// Relaunches allowed after the job loses a node (drain mid-run).
   int maxRetries = 1;
+  /// Owning account for fair-share/limits; 0 = unaccounted.
+  AccountId account = 0;
 };
 
 enum class JobState : std::uint8_t {
@@ -71,6 +78,9 @@ struct JobRecord {
   /// earlier jobs' exited processes in their tables.
   std::vector<std::pair<int, std::uint32_t>> pids;
   std::int64_t exitStatus = 0;
+  /// Times this job was preempted for higher-QOS work (preemption does
+  /// not charge the maxRetries budget; this counts separately).
+  int preemptCount = 0;
 };
 
 }  // namespace bg::svc

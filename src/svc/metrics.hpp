@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,42 @@
 #include "sim/types.hpp"
 
 namespace bg::svc {
+
+/// Per-account slice of the multi-tenant plane (empty vector when no
+/// accounts are configured).
+struct AccountMetrics {
+  std::string name;
+  const char* qos = "normal";
+  std::uint32_t shares = 1;
+  std::uint32_t queuedJobs = 0;
+  std::uint32_t runningJobs = 0;
+  std::uint32_t nodesInUse = 0;
+  std::uint64_t decayedUsage = 0;   // node-cycles after decay
+  std::uint64_t lifetimeUsage = 0;  // undecayed node-cycles
+  std::uint64_t jobsCompleted = 0;
+  std::uint64_t jobsFailed = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t quotaRejects = 0;
+  std::uint64_t fairShareScore = 0;
+
+  sim::Json toJson() const {
+    sim::Json a = sim::Json::object();
+    a.set("name", name);
+    a.set("qos", qos);
+    a.set("shares", static_cast<std::uint64_t>(shares));
+    a.set("queued_jobs", static_cast<std::uint64_t>(queuedJobs));
+    a.set("running_jobs", static_cast<std::uint64_t>(runningJobs));
+    a.set("nodes_in_use", static_cast<std::uint64_t>(nodesInUse));
+    a.set("decayed_usage", decayedUsage);
+    a.set("lifetime_usage", lifetimeUsage);
+    a.set("jobs_completed", jobsCompleted);
+    a.set("jobs_failed", jobsFailed);
+    a.set("preemptions", preemptions);
+    a.set("quota_rejects", quotaRejects);
+    a.set("fair_share_score", fairShareScore);
+    return a;
+  }
+};
 
 struct SvcMetrics {
   // Job flow.
@@ -42,6 +79,10 @@ struct SvcMetrics {
   std::uint64_t nodesRetired = 0;    // failure budgets blown
   double meanRequeueCycles = 0;      // fatal RAS -> victim job requeued
   std::uint64_t requeueSamples = 0;  // fatals that had a victim job
+
+  // Multi-tenant plane.
+  std::uint64_t preemptions = 0;  // jobs killed+requeued for QOS
+  std::vector<AccountMetrics> accounts;
 
   // Control-plane failover (filled by ServiceHost).
   std::uint64_t serviceCrashes = 0;
@@ -109,6 +150,14 @@ struct SvcMetrics {
     fault.set("mean_requeue_cycles", meanRequeueCycles);
     fault.set("requeue_samples", requeueSamples);
     j.set("fault", std::move(fault));
+    if (!accounts.empty()) {
+      sim::Json fs = sim::Json::object();
+      fs.set("preemptions", preemptions);
+      sim::Json arr = sim::Json::array();
+      for (const AccountMetrics& a : accounts) arr.push(a.toJson());
+      fs.set("accounts", std::move(arr));
+      j.set("fairshare", std::move(fs));
+    }
     char hash[32];
     std::snprintf(hash, sizeof(hash), "%016llx",
                   static_cast<unsigned long long>(scheduleHash));

@@ -18,17 +18,52 @@ std::array<int, kKinds> availByKind(const SchedContext& ctx) {
           ctx.readyNodes(rt::KernelKind::kFwk)};
 }
 
+// Commit a selected job against its account's per-round tally.
+void commitAccount(const SchedContext& ctx, const JobRecord& j,
+                   std::vector<AccountTally>& tally) {
+  if (ctx.accounts.empty()) return;
+  const AccountId id = j.desc.account;
+  if (id == 0 || id > ctx.accounts.size()) return;
+  AccountTally& t = tally[static_cast<std::size_t>(id - 1)];
+  ++t.runningJobs;
+  t.nodesInUse += static_cast<std::uint32_t>(j.desc.nodes);
+}
+
 }  // namespace
+
+bool accountAdmits(const SchedContext& ctx, const JobRecord& j,
+                   const std::vector<AccountTally>& tally) {
+  if (ctx.accounts.empty()) return true;
+  const AccountId id = j.desc.account;
+  if (id == 0 || id > ctx.accounts.size()) return true;
+  const AccountSchedView& v = ctx.accounts[static_cast<std::size_t>(id - 1)];
+  const AccountTally& t = tally[static_cast<std::size_t>(id - 1)];
+  if (v.maxRunning != 0 && v.runningJobs + t.runningJobs >= v.maxRunning) {
+    return false;
+  }
+  if (v.maxNodes != 0 &&
+      v.nodesInUse + t.nodesInUse + static_cast<std::uint32_t>(j.desc.nodes) >
+          v.maxNodes) {
+    return false;
+  }
+  return true;
+}
 
 std::vector<std::size_t> FifoPolicy::select(const SchedContext& ctx) {
   std::vector<std::size_t> out;
   auto avail = availByKind(ctx);
+  std::vector<AccountTally> tally(ctx.accounts.size());
   for (std::size_t i = 0; i < ctx.queue.size(); ++i) {
     const JobRecord* j = ctx.queue[i];
+    // Over its account's caps: ineligible this round, but it must not
+    // wedge the line the way a capacity-blocked head does — no amount
+    // of draining frees an account limit.
+    if (!accountAdmits(ctx, *j, tally)) continue;
     int& a = avail[kindIdx(j->desc.kernel)];
     if (j->desc.nodes > a) break;  // head of line blocks
     a -= j->desc.nodes;
     out.push_back(i);
+    commitAccount(ctx, *j, tally);
   }
   return out;
 }
@@ -36,15 +71,22 @@ std::vector<std::size_t> FifoPolicy::select(const SchedContext& ctx) {
 std::vector<std::size_t> BackfillPolicy::select(const SchedContext& ctx) {
   std::vector<std::size_t> out;
   auto avail = availByKind(ctx);
+  std::vector<AccountTally> tally(ctx.accounts.size());
 
-  // FIFO prefix: launch in order while everything fits.
-  std::size_t head = 0;
-  for (; head < ctx.queue.size(); ++head) {
-    const JobRecord* j = ctx.queue[head];
+  // FIFO prefix: launch in order while everything fits (account-capped
+  // jobs are skipped, not treated as the blocked head).
+  std::size_t head = ctx.queue.size();
+  for (std::size_t i = 0; i < ctx.queue.size(); ++i) {
+    const JobRecord* j = ctx.queue[i];
+    if (!accountAdmits(ctx, *j, tally)) continue;
     int& a = avail[kindIdx(j->desc.kernel)];
-    if (j->desc.nodes > a) break;
+    if (j->desc.nodes > a) {
+      head = i;
+      break;
+    }
     a -= j->desc.nodes;
-    out.push_back(head);
+    out.push_back(i);
+    commitAccount(ctx, *j, tally);
   }
   if (head >= ctx.queue.size()) return out;
 
@@ -93,6 +135,7 @@ std::vector<std::size_t> BackfillPolicy::select(const SchedContext& ctx) {
   // Backfill scan over the rest of the queue.
   for (std::size_t i = head + 1; i < ctx.queue.size(); ++i) {
     const JobRecord* j = ctx.queue[i];
+    if (!accountAdmits(ctx, *j, tally)) continue;
     const std::size_t k = kindIdx(j->desc.kernel);
     int& a = avail[k];
     if (j->desc.nodes > a) continue;
@@ -105,12 +148,16 @@ std::vector<std::size_t> BackfillPolicy::select(const SchedContext& ctx) {
     }
     a -= j->desc.nodes;
     out.push_back(i);
+    commitAccount(ctx, *j, tally);
   }
   return out;
 }
 
 std::unique_ptr<SchedulerPolicy> makePolicy(SchedPolicyKind kind) {
   if (kind == SchedPolicyKind::kFifo) return std::make_unique<FifoPolicy>();
+  if (kind == SchedPolicyKind::kFairShare) {
+    return std::make_unique<FairSharePolicy>();
+  }
   return std::make_unique<BackfillPolicy>();
 }
 

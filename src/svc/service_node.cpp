@@ -19,7 +19,10 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
         return kinds;
       }()),
       ras_(cfg.ras),
-      policy_(makePolicy(cfg.policy)),
+      accounting_(cfg.fairshare),
+      policy_(cfg.policy == SchedPolicyKind::kFairShare
+                  ? std::make_unique<FairSharePolicy>(cfg.fairshare.preemption)
+                  : makePolicy(cfg.policy)),
       store_(store),
       alive_(std::make_shared<bool>(true)),
       nodeOps_(static_cast<std::size_t>(parts_.size())),
@@ -60,6 +63,7 @@ JobId ServiceNode::submitOne(JobDesc desc) {
   jr.submitCycle = engine().now();
   if (jobs_.empty()) firstSubmit_ = jr.submitCycle;
   note("submit", jr.id, jr.submitCycle);
+  accounting_.onQueued(jr.desc.account);
   queue_.push_back(jr.id);
   jobs_.push_back(std::move(jr));
   return jobs_.back().id;
@@ -88,6 +92,7 @@ bool ServiceNode::cancelQueued(JobId id) {
   const auto it = std::find(queue_.begin(), queue_.end(), id);
   if (it == queue_.end()) return false;  // mid-requeue edge: not ours
   queue_.erase(it);
+  accounting_.onDequeued(jr->desc.account);
   const sim::Cycle now = engine().now();
   jr->state = JobState::kCancelled;
   jr->endCycle = now;
@@ -198,7 +203,52 @@ void ServiceNode::trySchedule() {
     const JobRecord* jr = find(id);
     ctx.running.push_back(RunningJobInfo{
         jr->id, jr->desc.kernel, jr->desc.nodes,
-        jr->startCycle + jr->desc.estCycles});
+        jr->startCycle + jr->desc.estCycles, jr->startCycle,
+        jr->desc.account});
+  }
+  if (accounting_.enabled()) {
+    accounting_.decayTo(ctx.now);
+    for (std::size_t i = 0; i < accounting_.numAccounts(); ++i) {
+      const auto id = static_cast<AccountId>(i + 1);
+      const AccountSpec& s = *accounting_.spec(id);
+      const AccountUsage& u = accounting_.usage(id);
+      AccountSchedView v;
+      v.id = id;
+      v.qos = s.qos;
+      v.maxNodes = s.maxNodes;
+      v.maxRunning = s.maxRunning;
+      v.runningJobs = u.runningJobs;
+      v.nodesInUse = u.nodesInUse;
+      v.fairShareScore = accounting_.fairShareScore(id);
+      v.preemptable = s.preemptable;
+      ctx.accounts.push_back(v);
+    }
+    ctx.inFlightNodes = [this](rt::KernelKind k) {
+      int c = 0;
+      for (int n = 0; n < parts_.size(); ++n) {
+        if (cluster_.kernelKindOn(n) != k) continue;
+        const NodeLifecycle s = parts_.state(n);
+        if (s == NodeLifecycle::kBooting || s == NodeLifecycle::kDraining ||
+            s == NodeLifecycle::kDown || s == NodeLifecycle::kReset) {
+          ++c;
+        }
+      }
+      return c;
+    };
+    // Preemption pass first: victims start draining now, and their
+    // nodes go to the starved job on a later pump (inFlightNodes keeps
+    // the policy from double-preempting while the drain runs).
+    const std::vector<JobId> victims = policy_->selectPreemptions(ctx);
+    if (!victims.empty()) {
+      const sim::Cycle now = ctx.now;
+      for (JobId v : victims) {
+        JobRecord* jr = find(v);
+        if (jr != nullptr && jr->state == JobState::kRunning) {
+          preemptJob(*jr, now);
+        }
+      }
+      return;  // context is stale; select on the next pump
+    }
   }
   std::vector<JobId> launched;
   for (std::size_t qi : policy_->select(ctx)) {
@@ -209,6 +259,7 @@ void ServiceNode::trySchedule() {
     if (launch(*jr, nodes)) launched.push_back(jr->id);
   }
   for (JobId id : launched) {
+    accounting_.onDequeued(find(id)->desc.account);
     queue_.erase(std::remove(queue_.begin(), queue_.end(), id),
                  queue_.end());
   }
@@ -261,8 +312,16 @@ bool ServiceNode::launch(JobRecord& jr, const std::vector<int>& nodes) {
   jr.state = JobState::kRunning;
   for (int n : nodes) parts_.markRunning(n, jr.id, now);
   runningIds_.push_back(jr.id);
+  accounting_.onLaunch(jr.desc.account, static_cast<int>(nodes.size()));
   note("launch", jr.id, now, nodes);
   return true;
+}
+
+void ServiceNode::chargeStopped(JobRecord& jr, sim::Cycle now) {
+  if (!accounting_.enabled() || jr.state != JobState::kRunning) return;
+  const std::uint64_t elapsed = now >= jr.startCycle ? now - jr.startCycle : 0;
+  accounting_.onStop(jr.desc.account, static_cast<int>(jr.nodesHeld.size()),
+                     elapsed * jr.nodesHeld.size(), now);
 }
 
 void ServiceNode::finishJob(JobRecord& jr, bool ok, std::int64_t status) {
@@ -271,6 +330,8 @@ void ServiceNode::finishJob(JobRecord& jr, bool ok, std::int64_t status) {
     scrubNode(n);
     parts_.release(n, now);
   }
+  chargeStopped(jr, now);
+  accounting_.onCompleted(jr.desc.account, ok);
   jr.state = ok ? JobState::kCompleted : JobState::kFailed;
   jr.endCycle = now;
   jr.exitStatus = status;
@@ -283,20 +344,42 @@ void ServiceNode::finishJob(JobRecord& jr, bool ok, std::int64_t status) {
 }
 
 void ServiceNode::requeueOrFail(JobRecord& jr, sim::Cycle now) {
+  chargeStopped(jr, now);
   jr.nodesHeld.clear();
   jr.pids.clear();
   if (jr.attempts <= jr.desc.maxRetries) {
     jr.state = JobState::kQueued;
     queue_.push_back(jr.id);
+    accounting_.onQueued(jr.desc.account);
     ++retries_;
     note("retry", jr.id, now);
   } else {
     jr.state = JobState::kFailed;
+    accounting_.onCompleted(jr.desc.account, false);
     jr.endCycle = now;
     jr.exitStatus = -1;
     lastEnd_ = now;
     note("fail", jr.id, now);
   }
+}
+
+void ServiceNode::preemptJob(JobRecord& jr, sim::Cycle now) {
+  ++preemptions_;
+  ++jr.preemptCount;
+  note("preempt", jr.id, now, jr.nodesHeld);
+  runningIds_.erase(
+      std::remove(runningIds_.begin(), runningIds_.end(), jr.id),
+      runningIds_.end());
+  drainHeldNodes(jr, now, -1);
+  chargeStopped(jr, now);
+  accounting_.onPreempted(jr.desc.account);
+  jr.nodesHeld.clear();
+  jr.pids.clear();
+  // Back of the queue, exactly once, and no retry budget consumed:
+  // preemption is the scheduler's fault, not the job's.
+  jr.state = JobState::kQueued;
+  queue_.push_back(jr.id);
+  accounting_.onQueued(jr.desc.account);
 }
 
 void ServiceNode::drainHeldNodes(JobRecord& jr, sim::Cycle now,
@@ -570,6 +653,7 @@ SvcCheckpoint ServiceNode::buildCheckpoint() {
   ck.nodesRetired = nodesRetired_;
   ck.requeueLatencyTotal = requeueLatencyTotal_;
   ck.requeueCount = requeueCount_;
+  ck.preemptions = preemptions_;
   ck.firstSubmit = firstSubmit_;
   ck.lastEnd = lastEnd_;
   ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
@@ -597,6 +681,7 @@ bool ServiceNode::saveCheckpoint() {
   sim::ByteWriter w;
   buildCheckpoint().encode(w);
   ras_.saveTo(w);
+  accounting_.saveTo(w);
   return store_->save(std::move(w).take(), engine().now());
 }
 
@@ -630,6 +715,7 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   if (!ck.decode(r)) return false;
   if (static_cast<int>(ck.nodes.size()) != parts_.size()) return false;
   if (!ras_.loadFrom(r)) return false;
+  if (!accounting_.loadFrom(r)) return false;
   for (int n = 0; n < parts_.size(); ++n) {
     if (!parts_.restore(n, ck.nodes[static_cast<std::size_t>(n)])) {
       return false;
@@ -656,6 +742,7 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   nodesRetired_ = ck.nodesRetired;
   requeueLatencyTotal_ = ck.requeueLatencyTotal;
   requeueCount_ = ck.requeueCount;
+  preemptions_ = ck.preemptions;
   firstSubmit_ = ck.firstSubmit;
   lastEnd_ = ck.lastEnd;
   hash_.restore(ck.scheduleHash);
@@ -858,6 +945,30 @@ SvcMetrics ServiceNode::metrics() {
   }
   m.hangsDetected = watchdog_.hangsDetected();
   m.nodesRetired = nodesRetired_;
+  m.preemptions = preemptions_;
+  if (accounting_.enabled()) {
+    accounting_.decayTo(now);
+    for (std::size_t i = 0; i < accounting_.numAccounts(); ++i) {
+      const auto id = static_cast<AccountId>(i + 1);
+      const AccountSpec& s = *accounting_.spec(id);
+      const AccountUsage& u = accounting_.usage(id);
+      AccountMetrics am;
+      am.name = s.name;
+      am.qos = qosName(s.qos);
+      am.shares = s.shares;
+      am.queuedJobs = u.queuedJobs;
+      am.runningJobs = u.runningJobs;
+      am.nodesInUse = u.nodesInUse;
+      am.decayedUsage = u.decayedUsage;
+      am.lifetimeUsage = u.lifetimeUsage;
+      am.jobsCompleted = u.jobsCompleted;
+      am.jobsFailed = u.jobsFailed;
+      am.preemptions = u.preemptions;
+      am.quotaRejects = u.quotaRejects;
+      am.fairShareScore = accounting_.fairShareScore(id);
+      m.accounts.push_back(std::move(am));
+    }
+  }
   m.requeueSamples = requeueCount_;
   m.meanRequeueCycles =
       requeueCount_ > 0 ? static_cast<double>(requeueLatencyTotal_) /

@@ -73,6 +73,10 @@ struct ServiceNodeConfig {
   /// reaches this, it is retired (kRetired, out of service for good)
   /// instead of repaired and rebooted. 0 = unlimited, always repair.
   std::uint32_t nodeFailureBudget = 0;
+  /// Multi-tenant accounts, fair-share decay, and preemption. Empty
+  /// accounts = single-tenant: no accounting state, no new hash notes,
+  /// schedules stay bit-identical to the pre-tenancy control plane.
+  FairShareConfig fairshare;
   RasAggregatorConfig ras;
 };
 
@@ -159,6 +163,11 @@ class ServiceNode {
   /// and nodes taken out of service for good by the failure budget.
   std::uint64_t hangsDetected() const { return watchdog_.hangsDetected(); }
   std::uint64_t nodesRetired() const { return nodesRetired_; }
+  /// Multi-tenant plane: per-account usage/limit state and the count
+  /// of jobs killed + requeued to make room for higher-QOS work.
+  Accounting& accounting() { return accounting_; }
+  const Accounting& accounting() const { return accounting_; }
+  std::uint64_t preemptions() const { return preemptions_; }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
@@ -202,6 +211,12 @@ class ServiceNode {
   /// fail it once retries are exhausted). Shared by the fatal path,
   /// predictive drain, and restart reconciliation.
   void requeueOrFail(JobRecord& jr, sim::Cycle now);
+  /// Kill a running job and requeue it (no retry charged) because the
+  /// fair-share policy picked it as a preemption victim.
+  void preemptJob(JobRecord& jr, sim::Cycle now);
+  /// Accounting hook shared by every running-job-release path: charge
+  /// decayed/lifetime usage for the attempt and drop running tallies.
+  void chargeStopped(JobRecord& jr, sim::Cycle now);
   void drainHeldNodes(JobRecord& jr, sim::Cycle now, int skipNode);
   void scheduleDrainDone(int node, sim::Cycle due);
   void scheduleRepairDone(int node, sim::Cycle due);
@@ -232,6 +247,7 @@ class ServiceNode {
   ServiceNodeConfig cfg_;
   PartitionManager parts_;
   RasAggregator ras_;
+  Accounting accounting_;
   std::unique_ptr<SchedulerPolicy> policy_;
   CheckpointStore* store_ = nullptr;
   std::shared_ptr<bool> alive_;  // epoch token for guarded()
@@ -253,6 +269,7 @@ class ServiceNode {
   std::uint64_t ioFailovers_ = 0;
   std::uint64_t ioReboots_ = 0;
   std::uint64_t nodesRetired_ = 0;
+  std::uint64_t preemptions_ = 0;
   /// Mean-time-to-requeue accounting: fatal RAS event raised (its
   /// logged cycle) -> victim job back on the queue (or failed out).
   std::uint64_t requeueLatencyTotal_ = 0;
