@@ -94,13 +94,17 @@ const char* mapName(hw::BankMap m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("L2/L3 bank-mapping sensitivity study (paper SectionIII)\n");
   std::printf("strided kernel on 4 cores, 512KB region per process\n\n");
+  sim::Json strides = sim::Json::array();
   for (const std::uint32_t stride : {128u, 4096u}) {
     std::printf("stride %u bytes:\n", stride);
     std::printf("  %-26s %14s %12s %12s %10s\n", "bank mapping", "cycles",
                 "conflicts", "L3 misses", "imbalance");
+    sim::Json sj = sim::Json::object();
+    sj.set("stride", static_cast<std::uint64_t>(stride));
+    sim::Json maps = sim::Json::array();
     for (const auto map : {hw::BankMap::kXorFold, hw::BankMap::kDirect,
                            hw::BankMap::kHighBits}) {
       const MapResult r = runWithMapping(map, stride);
@@ -108,11 +112,23 @@ int main() {
                   static_cast<unsigned long long>(r.cycles),
                   static_cast<unsigned long long>(r.conflicts),
                   static_cast<unsigned long long>(r.misses), r.imbalance);
+      sim::Json mj = sim::Json::object();
+      mj.set("mapping", mapName(map));
+      mj.set("cycles", r.cycles);
+      mj.set("conflicts", r.conflicts);
+      mj.set("l3_misses", r.misses);
+      mj.set("imbalance", r.imbalance);
+      maps.push(std::move(mj));
     }
+    sj.set("mappings", std::move(maps));
+    strides.push(std::move(sj));
     std::printf("\n");
   }
   std::printf("expected shape: the high-bits mapping concentrates traffic "
               "in few banks (imbalance >> 1)\nand pays conflict stalls; "
               "xor-fold spreads it evenly.\n");
+  sim::Json j = sim::Json::object();
+  j.set("strides", std::move(strides));
+  if (!bench::maybeWriteJson(bench::jsonPathArg(argc, argv), j)) return 1;
   return 0;
 }

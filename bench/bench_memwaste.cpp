@@ -7,8 +7,10 @@
 // the resulting page-size choices, entries used, and physical memory
 // wasted — the dial between TLB pressure (more, smaller pages) and
 // tiling waste (fewer, larger pages).
+// --json emits the full sweep grid for bench/diff_runs.py.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "cnk/partitioner.hpp"
 
 using namespace bg;
@@ -27,9 +29,10 @@ const char* pageName(std::uint64_t p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Static-map trade-off: TLB budget vs tiling waste "
               "(paper SectionVII-B)\n");
+  sim::Json configs = sim::Json::array();
 
   const struct {
     const char* label;
@@ -46,6 +49,9 @@ int main() {
     std::printf("\n%s (SMP mode):\n", n.label);
     std::printf("  %8s %10s %10s %12s %14s\n", "budget", "heap page",
                 "entries", "waste(MB)", "waste(%)");
+    sim::Json cj = sim::Json::object();
+    cj.set("label", n.label);
+    sim::Json points = sim::Json::array();
     for (const int budget : {8, 12, 16, 24, 32, 48, 64}) {
       cnk::PartitionRequest req;
       req.physBase = 16ULL << 20;
@@ -65,8 +71,21 @@ int main() {
                   static_cast<double>(res.wastedBytes) / (1 << 20),
                   100.0 * static_cast<double>(res.wastedBytes) /
                       static_cast<double>(req.physSize));
+      sim::Json pt = sim::Json::object();
+      pt.set("tlb_budget", static_cast<std::int64_t>(budget));
+      pt.set("heap_page", pageName(hs.pageSize));
+      pt.set("entries", static_cast<std::int64_t>(res.tlbEntriesPerProcess));
+      pt.set("wasted_bytes", res.wastedBytes);
+      pt.set("waste_pct", 100.0 * static_cast<double>(res.wastedBytes) /
+                              static_cast<double>(req.physSize));
+      points.push(std::move(pt));
     }
+    cj.set("points", std::move(points));
+    configs.push(std::move(cj));
   }
+  sim::Json j = sim::Json::object();
+  j.set("configs", std::move(configs));
+  if (!bench::maybeWriteJson(bench::jsonPathArg(argc, argv), j)) return 1;
   std::printf("\nshape: smaller budgets force larger pages; alignment and "
               "rounding to those pages\nis the physical memory the paper "
               "says the static map may waste.\n");

@@ -83,6 +83,16 @@ bool CnkKernel::loadJob(const JobSpec& spec) {
   const int coresPerProc =
       std::max(1, node_.numCores() / std::max(1, spec.processes));
 
+  // Per-job checkpoint identity: any in-flight attempt from a previous
+  // job is already torn down (unloadJob), and the sequence space
+  // restarts per job. A restoring load advances it again from the
+  // applied image's sequence.
+  ckpt_.jobId = spec.jobId;
+  ckpt_.firstRank = spec.firstRank;
+  ckpt_.nextSeq = 1;
+  ckpt_.committedSeq = 0;
+  std::vector<Process*> newProcs;
+
   for (int i = 0; i < spec.processes; ++i) {
     const ProcLayout& lay = part_.procs[static_cast<std::size_t>(i)];
     const std::uint32_t pid = allocPid();
@@ -164,7 +174,21 @@ bool CnkKernel::loadJob(const JobSpec& spec) {
     main.guardHi = p.brk + cfg_.guardBytes;
 
     sched_.assign(main, cores.front());
+    newProcs.push_back(&p);
     processes_.push_back(std::move(proc));
+  }
+
+  const bool restoring = spec.restore && cfg_.ioNodeNetId >= 0;
+  if (restoring) {
+    // Hold every main thread at the gate: the cores below get kicked
+    // but find nothing runnable, and the restore chain (or its scratch
+    // fallback) releases them.
+    for (Process* p : newProcs) {
+      if (Thread* m = p->mainThread()) {
+        m->ctx.state = hw::ThreadState::kBlocked;
+        m->ctx.yieldOnBlock = false;
+      }
+    }
   }
 
   for (auto& [pid, cores] : procCores_) {
@@ -173,6 +197,24 @@ bool CnkKernel::loadJob(const JobSpec& spec) {
   logRas(kernel::RasEvent::Code::kJobLoaded,
          processes_.empty() ? 0 : processes_.back()->pid(), 0,
          static_cast<std::uint64_t>(spec.processes));
+
+  if (restoring) {
+    ckpt_.restorePending = true;
+    restoreFromImageFile([this, newProcs](bool ok) {
+      if (ok) return;  // threads resumed from the image, cores kicked
+      // Scratch fallback: release the gate and run from the entry
+      // point — a missing or torn image is never a wedge.
+      for (Process* p : newProcs) {
+        if (Thread* m = p->mainThread()) {
+          if (m->ctx.state == hw::ThreadState::kBlocked) {
+            m->ctx.state = hw::ThreadState::kReady;
+            m->ctx.yieldOnBlock = true;
+          }
+        }
+        for (int c : procCores_[p->pid()]) node_.core(c).kick();
+      }
+    });
+  }
   return true;
 }
 
@@ -181,6 +223,16 @@ void CnkKernel::unloadJob() {
   // pointers that are about to be freed, and their watchdog timers
   // must not fire into a torn-down job.
   fship_->reset();
+  // Abandon any in-flight checkpoint attempt or restore chain without
+  // resolving it: the waiter threads are being destroyed and a
+  // service-side requester resolves through its own deadline. The
+  // lifetime counters and a committed on-disk image survive.
+  ++ckpt_.gen;
+  ckpt_.inProgress = false;
+  ckpt_.restorePending = false;
+  ckpt_.repolls = 0;
+  ckpt_.waiters.clear();
+  ckpt_.done = nullptr;
   for (auto& p : processes_) {
     for (const int c : procCores_[p->pid()]) {
       node_.core(c).mmu().invalidate(p->pid());
@@ -284,6 +336,10 @@ hw::HandlerResult CnkKernel::syscall(hw::Core& core, hw::ThreadCtx& ctx,
           ok ? 0 : static_cast<std::uint64_t>(-kernel::kEINVAL),
           base + 25);
     }
+    case Sys::kCkptSave:
+      return sysCkptSave(t);
+    case Sys::kCkptRestore:
+      return sysCkptRestore(t);
     case Sys::kRead:
     case Sys::kWrite:
     case Sys::kOpen:

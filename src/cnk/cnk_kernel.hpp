@@ -129,6 +129,26 @@ class CnkKernel final : public kernel::KernelBase {
   /// directly by bringup harnesses).
   hw::ClockStop& clockStop() { return *clockStop_; }
 
+  // ---- application checkpoint/restart ----
+  /// Service-initiated transparent checkpoint of the loaded job. The
+  /// image is cut at an event boundary (every thread context is
+  /// architecturally consistent there), so no cooperation from the
+  /// application is needed; the cut is deferred while shipped I/O is
+  /// still in flight. `done(true)` fires once the two-phase commit
+  /// (write tmp, rename) lands on the I/O node; any failure leaves the
+  /// previous committed image valid and fires `done(false)`.
+  void requestCheckpoint(std::function<void(bool)> done);
+
+  /// Highest checkpoint sequence whose two-phase commit completed for
+  /// the currently-loaded job (0 = none). The service node polls this
+  /// to learn about application-initiated ckpt_save commits.
+  std::uint32_t ckptSeqCommitted() const { return ckpt_.committedSeq; }
+  std::uint64_t lastCkptBytes() const { return ckpt_.lastBytes; }
+  std::uint64_t ckptCommits() const { return ckpt_.commits; }
+  std::uint64_t ckptFailures() const { return ckpt_.failures; }
+  std::uint64_t ckptRestores() const { return ckpt_.restores; }
+  bool ckptInProgress() const { return ckpt_.inProgress; }
+
  protected:
   const char* unameRelease() const override {
     return kernel::kCnkUnameRelease;
@@ -145,6 +165,20 @@ class CnkKernel final : public kernel::KernelBase {
   hw::HandlerResult sysPersistOpen(kernel::Thread& t,
                                    const hw::SyscallArgs& a);
   hw::HandlerResult sysFileIo(kernel::Thread& t, const hw::SyscallArgs& a);
+
+  // Checkpoint engine (defined in cnk/ckpt_image.cpp).
+  hw::HandlerResult sysCkptSave(kernel::Thread& t);
+  hw::HandlerResult sysCkptRestore(kernel::Thread& t);
+  bool allProcsAtCkptGate() const;
+  void maybeCutCkpt();
+  void cutCkptNow();
+  void failCheckpoint(std::int64_t err);
+  void finishCkptCommit(std::uint32_t seq, std::uint64_t bytes);
+  std::vector<std::byte> buildCkptImage(std::uint32_t seq);
+  bool applyCkptImage(const std::vector<std::byte>& bytes);
+  void shipCkptImage(std::uint32_t seq, std::vector<std::byte> bytes);
+  void restoreFromImageFile(std::function<void(bool)> done);
+  void finishCkptRestore(bool ok, std::function<void(bool)> done);
 
   /// Uncorrectable machine check: log fatal RAS, ship a lightweight
   /// coredump, fail-stop every user thread. Returns handler cost.
@@ -181,6 +215,29 @@ class CnkKernel final : public kernel::KernelBase {
   std::uint64_t spuriousMcs_ = 0;
   std::uint64_t coredumpsShipped_ = 0;
   bool panicked_ = false;
+
+  /// Checkpoint engine state. `gen` stamps every deferred-cut poll and
+  /// ship-chain completion so a leg that lands after the attempt was
+  /// resolved (failed, committed, or torn down by unloadJob) is inert.
+  struct CkptState {
+    bool inProgress = false;
+    bool restorePending = false;  // restore chain owns the node
+    std::uint32_t jobId = 0;      // from JobSpec::jobId (0 = anonymous)
+    int firstRank = 0;            // names the per-node image file
+    std::uint32_t nextSeq = 1;
+    std::uint32_t committedSeq = 0;
+    std::uint64_t lastBytes = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t restores = 0;
+    int repolls = 0;              // bounded defer while I/O drains
+    std::uint64_t gen = 0;
+    /// App threads blocked in ckpt_save awaiting the barrier + commit.
+    std::vector<kernel::Thread*> waiters;
+    /// Service-initiated completion callback (empty for app-initiated).
+    std::function<void(bool)> done;
+  };
+  CkptState ckpt_;
 
   friend class Linker;
 };

@@ -300,7 +300,13 @@ void FshipClient::reset() {
   for (auto& [key, p] : pending_) cancelTimer(p);
   pending_.clear();
   shadow_.clear();
-  nextSeq_.clear();
+  // Sequence numbers are deliberately NOT cleared: CIOD's per-channel
+  // replay cache outlives the job, and the kernel-internal (pid 0,
+  // tid 0) control channel — coredumps, checkpoint images — is reused
+  // by the next job on this node. A restarted sequence would sort
+  // below the cached seq and be stale-dropped; monotonic seqs keep
+  // every fresh request servable while duplicate suppression still
+  // works.
   ioNodeDead_ = false;
 }
 

@@ -125,6 +125,13 @@ class FshipClient {
   const Config& config() const { return cfg_; }
   const FshipStats& stats() const { return stats_; }
   std::size_t pendingCount() const { return pending_.size(); }
+  /// Remote fds a process holds open via the shadow (the checkpoint
+  /// engine refuses to cut while any exist: fd state is not in the
+  /// image, so a restored process would hold dangling descriptors).
+  std::size_t shadowFdCount(std::uint32_t pid) const {
+    auto it = shadow_.find(pid);
+    return it == shadow_.end() ? 0 : it->second.fds.size();
+  }
 
  private:
   using ChanKey = std::pair<std::uint32_t, std::uint32_t>;  // (pid, tid)

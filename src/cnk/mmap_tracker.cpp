@@ -2,6 +2,45 @@
 
 namespace bg::cnk {
 
+void MmapTracker::saveTo(sim::ByteWriter& w) const {
+  w.u64(lo_);
+  w.u64(hi_);
+  w.u64(bytesAllocated_);
+  w.u64(free_.size());
+  for (const auto& [addr, len] : free_) {
+    w.u64(addr);
+    w.u64(len);
+  }
+  w.u64(allocated_.size());
+  for (const auto& [addr, rg] : allocated_) {
+    w.u64(addr);
+    w.u64(rg.len);
+    w.u8(rg.perms);
+  }
+}
+
+bool MmapTracker::loadFrom(sim::ByteReader& r) {
+  lo_ = r.u64();
+  hi_ = r.u64();
+  bytesAllocated_ = r.u64();
+  free_.clear();
+  allocated_.clear();
+  const std::uint64_t nFree = r.u64();
+  for (std::uint64_t i = 0; i < nFree && r.ok(); ++i) {
+    const hw::VAddr addr = r.u64();
+    free_[addr] = r.u64();
+  }
+  const std::uint64_t nAlloc = r.u64();
+  for (std::uint64_t i = 0; i < nAlloc && r.ok(); ++i) {
+    const hw::VAddr addr = r.u64();
+    Range rg;
+    rg.len = r.u64();
+    rg.perms = r.u8();
+    allocated_[addr] = rg;
+  }
+  return r.ok();
+}
+
 void MmapTracker::reset(hw::VAddr lo, hw::VAddr hi) {
   lo_ = lo;
   hi_ = hi;

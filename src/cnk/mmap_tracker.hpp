@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "hw/addr.hpp"
+#include "sim/bytes.hpp"
 
 namespace bg::cnk {
 
@@ -49,6 +50,12 @@ class MmapTracker {
   hw::VAddr lowestAllocated() const;
   hw::VAddr lo() const { return lo_; }
   hw::VAddr hi() const { return hi_; }
+
+  /// Serialize the full zone state (bounds, free list, allocations)
+  /// into a checkpoint image / restore it. loadFrom replaces all state
+  /// and returns false on a malformed image.
+  void saveTo(sim::ByteWriter& w) const;
+  bool loadFrom(sim::ByteReader& r);
 
  private:
   struct Range {

@@ -199,6 +199,16 @@ void Ciod::serve(const FsRequest& req) {
     case FsOp::kRestoreState:
       rep.result = serveRestore(req);
       break;
+    case FsOp::kRename: {
+      // New name rides the payload as raw chars; `path` is the old
+      // name. One op == one replay-cache entry, so a retransmit after
+      // the commit landed replays the cached reply instead of failing
+      // on the now-missing old name.
+      std::string newPath(reinterpret_cast<const char*>(req.payload.data()),
+                          req.payload.size());
+      rep.result = c.rename(req.path, newPath);
+      break;
+    }
   }
   if (rep.result < 0) ++stats_.errors;
 

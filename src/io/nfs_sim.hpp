@@ -49,6 +49,10 @@ class NfsSim : public FsBackend {
   std::int64_t mkdir(const std::string& path) override {
     return inner_.mkdir(path);
   }
+  std::int64_t rename(const std::string& oldPath,
+                      const std::string& newPath) override {
+    return inner_.rename(oldPath, newPath);
+  }
   std::int64_t fileSize(std::int64_t h) override { return inner_.fileSize(h); }
 
   sim::Cycle opLatency(FsOpKind, std::uint64_t bytes, sim::Cycle) override {

@@ -38,6 +38,10 @@ enum class FsOp : std::uint32_t {
   // on a replacement I/O node from the CNK-side shadow. Sent on the
   // reserved (pid, tid=0) control channel.
   kRestoreState,
+  // Atomic rename (two-phase checkpoint commit): `path` is the old
+  // name, the new name rides the payload. A single op, so the replay
+  // cache makes a retransmitted rename exactly-once.
+  kRename,
 };
 
 /// Collective-network channel tags.

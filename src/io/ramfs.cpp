@@ -92,6 +92,24 @@ std::int64_t RamFs::mkdir(const std::string& path) {
   return 0;
 }
 
+std::int64_t RamFs::rename(const std::string& oldPath,
+                           const std::string& newPath) {
+  const std::string o = normalizePath(oldPath);
+  const std::string n = normalizePath(newPath);
+  if (dirs_.contains(o)) return -kEISDIR;  // directory moves unsupported
+  auto it = files_.find(o);
+  if (it == files_.end()) return -kENOENT;
+  if (dirs_.contains(n)) return -kEISDIR;
+  const auto slash = n.find_last_of('/');
+  const std::string parent = slash == 0 ? "/" : n.substr(0, slash);
+  if (!dirs_.contains(parent)) return -kENOENT;
+  if (o == n) return 0;
+  // POSIX semantics: an existing destination is replaced atomically.
+  files_[n] = std::move(it->second);
+  files_.erase(it);
+  return 0;
+}
+
 std::int64_t RamFs::fileSize(std::int64_t handle) {
   auto it = handles_.find(handle);
   if (it == handles_.end()) return -kEBADF;

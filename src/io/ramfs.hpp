@@ -25,6 +25,8 @@ class RamFs : public FsBackend {
   std::int64_t stat(const std::string& path, FileStat* out) override;
   std::int64_t unlink(const std::string& path) override;
   std::int64_t mkdir(const std::string& path) override;
+  std::int64_t rename(const std::string& oldPath,
+                      const std::string& newPath) override;
   std::int64_t fileSize(std::int64_t handle) override;
   sim::Cycle opLatency(FsOpKind op, std::uint64_t bytes,
                        sim::Cycle now) override;

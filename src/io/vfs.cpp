@@ -39,6 +39,13 @@ std::string normalizePath(const std::string& path) {
   return out;
 }
 
+std::int64_t FsBackend::rename(const std::string& oldPath,
+                               const std::string& newPath) {
+  (void)oldPath;
+  (void)newPath;
+  return -kernel::kENOSYS;
+}
+
 void Vfs::mount(std::string prefix, std::shared_ptr<FsBackend> backend) {
   mounts_.emplace_back(normalizePath(prefix), std::move(backend));
   std::sort(mounts_.begin(), mounts_.end(),
@@ -216,6 +223,26 @@ std::int64_t VfsClient::mkdir(const std::string& path) {
   }
   lastLatency_ = res->backend->opLatency(FsOpKind::kMkdir, 0, engine_.now());
   return res->backend->mkdir(res->relPath);
+}
+
+std::int64_t VfsClient::rename(const std::string& oldPath,
+                               const std::string& newPath) {
+  const std::string absOld = absolutize(oldPath);
+  const std::string absNew = absolutize(newPath);
+  auto resOld = vfs_.resolve(absOld);
+  auto resNew = vfs_.resolve(absNew);
+  if (!resOld || !resNew) {
+    lastLatency_ = 200;
+    return -kENOENT;
+  }
+  if (resOld->backend != resNew->backend) {
+    // Cross-mount rename would not be atomic; refuse like EXDEV.
+    lastLatency_ = 200;
+    return -kEINVAL;
+  }
+  lastLatency_ =
+      resOld->backend->opLatency(FsOpKind::kRename, 0, engine_.now());
+  return resOld->backend->rename(resOld->relPath, resNew->relPath);
 }
 
 std::int64_t VfsClient::dup(int fd) {

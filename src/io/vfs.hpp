@@ -34,6 +34,7 @@ enum class FsOpKind : std::uint8_t {
   kStat,
   kUnlink,
   kMkdir,
+  kRename,
 };
 
 /// A mounted filesystem backend. All calls return >= 0 on success or a
@@ -52,6 +53,10 @@ class FsBackend {
   virtual std::int64_t stat(const std::string& path, FileStat* out) = 0;
   virtual std::int64_t unlink(const std::string& path) = 0;
   virtual std::int64_t mkdir(const std::string& path) = 0;
+  /// Atomic within one backend; the default backend refuses (-ENOSYS)
+  /// so pre-rename backends keep compiling unchanged.
+  virtual std::int64_t rename(const std::string& oldPath,
+                              const std::string& newPath);
   virtual std::int64_t fileSize(std::int64_t handle) = 0;
 
   /// Simulated service time for an operation of `bytes` payload,
@@ -101,6 +106,9 @@ class VfsClient {
   std::int64_t stat(const std::string& path, FileStat* out);
   std::int64_t unlink(const std::string& path);
   std::int64_t mkdir(const std::string& path);
+  /// Both paths must resolve to the same backend (-EINVAL otherwise);
+  /// atomicity is the backend's.
+  std::int64_t rename(const std::string& oldPath, const std::string& newPath);
   std::int64_t dup(int fd);
   std::int64_t chdir(const std::string& path);
   const std::string& cwd() const { return cwd_; }

@@ -20,6 +20,12 @@ struct JobSpec {
   /// Persistent-memory regions to import by name (paper §IV-D).
   std::vector<std::string> persistentRegions;
   int firstRank = 0;            // MPI rank of process 0 on this node
+  /// Scheduler-assigned job id; names the node's checkpoint image
+  /// (/ckpt/job<id>.r<firstRank>.ckpt). 0 = anonymous (no checkpoints).
+  std::uint32_t jobId = 0;
+  /// Boot into restore: after loading, rebuild state from the node's
+  /// committed checkpoint image; on any failure run from scratch.
+  bool restore = false;
 };
 
 }  // namespace bg::kernel

@@ -51,6 +51,12 @@ struct RasEvent {
     kFrontDoorRestart,  // in-flight request table rebuilt from persist
     // Multi-tenant control plane (svc::Accounting).
     kQuotaRejected,     // submit bounced on a per-account limit
+    // Application checkpoint/restart (cnk checkpoint engine).
+    kCkptBegin,         // quiesce reached, image cut started
+    kCkptCommit,        // two-phase commit renamed tmp -> final image
+    kCkptRestore,       // job state rebuilt from a committed image
+    kCkptFailed,        // cut/ship/restore failed; previous image or
+                        // scratch restart remains the truth
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -74,11 +80,15 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
     case RasEvent::Code::kJobExited:
     case RasEvent::Code::kCoredump:
     case RasEvent::Code::kFrontDoorRestart:
+    case RasEvent::Code::kCkptBegin:
+    case RasEvent::Code::kCkptCommit:
+    case RasEvent::Code::kCkptRestore:
       return RasEvent::Severity::kInfo;
     case RasEvent::Code::kIoTimeout:
     case RasEvent::Code::kEccCorrectable:
     case RasEvent::Code::kClientRejected:
     case RasEvent::Code::kQuotaRejected:
+    case RasEvent::Code::kCkptFailed:
       return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
     case RasEvent::Code::kEccUncorrectable:
@@ -107,12 +117,16 @@ constexpr const char* rasCodeName(RasEvent::Code c) {
     case RasEvent::Code::kClientRejected: return "client_rejected";
     case RasEvent::Code::kFrontDoorRestart: return "frontdoor_restart";
     case RasEvent::Code::kQuotaRejected: return "quota_rejected";
+    case RasEvent::Code::kCkptBegin: return "ckpt_begin";
+    case RasEvent::Code::kCkptCommit: return "ckpt_commit";
+    case RasEvent::Code::kCkptRestore: return "ckpt_restore";
+    case RasEvent::Code::kCkptFailed: return "ckpt_failed";
   }
   return "?";
 }
 
 /// Number of RasEvent::Code values (array sizing in src/svc).
-inline constexpr std::size_t kNumRasCodes = 15;
+inline constexpr std::size_t kNumRasCodes = 19;
 
 class KernelBase : public hw::KernelIf {
  public:

@@ -50,6 +50,9 @@ enum class Sys : std::int64_t {
   kGetMemRegions = 1003, // dump of the static partition map
   kRasEvent = 1004,      // inject/ack RAS events (L1 parity test path)
   kClockStop = 1005,     // arm the Clock-Stop unit (bringup tooling)
+  kCkptSave = 1006,      // coordinated checkpoint: barrier across the
+                         // node's processes, image shipped to /ckpt
+  kCkptRestore = 1007,   // rebuild job state from the committed image
 };
 
 // ---- errno (returned as negative values, Linux-style) ----
@@ -60,6 +63,7 @@ inline constexpr std::int64_t kEAGAIN = 11;
 inline constexpr std::int64_t kENOMEM = 12;
 inline constexpr std::int64_t kEACCES = 13;
 inline constexpr std::int64_t kEFAULT = 14;
+inline constexpr std::int64_t kEBUSY = 16;
 inline constexpr std::int64_t kEEXIST = 17;
 inline constexpr std::int64_t kENOTDIR = 20;
 inline constexpr std::int64_t kEISDIR = 21;

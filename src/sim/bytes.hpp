@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,11 @@ class ByteWriter {
   void str(const std::string& s) {
     u64(s.size());
     for (char c : s) out_.push_back(static_cast<std::byte>(c));
+  }
+  /// Raw byte span, no length prefix (caller frames it).
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), p, p + n);
   }
 
   const std::vector<std::byte>& bytes() const { return out_; }
@@ -59,6 +65,17 @@ class ByteReader {
     }
     pos_ += n;
     return s;
+  }
+
+  /// Raw byte span, no length prefix; fills `out` or poisons ok().
+  void raw(void* out, std::size_t n) {
+    if (pos_ + n > in_.size()) {
+      ok_ = false;
+      pos_ = in_.size();
+      return;
+    }
+    std::memcpy(out, in_.data() + pos_, n);
+    pos_ += n;
   }
 
   /// False once any read ran past the end; all subsequent reads

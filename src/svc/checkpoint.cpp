@@ -3,7 +3,8 @@
 namespace bg::svc {
 namespace {
 
-void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e) {
+void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e,
+               std::uint32_t version) {
   const JobRecord& j = e.rec;
   w.u32(j.id);
   w.str(j.desc.name);
@@ -32,9 +33,11 @@ void encodeJob(sim::ByteWriter& w, const SvcCheckpoint::JobEntry& e) {
   }
   w.i64(j.exitStatus);
   w.u32(static_cast<std::uint32_t>(j.preemptCount));
+  if (version >= 5) w.u32(j.ckptSeq);
 }
 
-bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
+bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e,
+               std::uint32_t version) {
   JobRecord& j = e.rec;
   j.id = r.u32();
   j.desc.name = r.str();
@@ -68,13 +71,14 @@ bool decodeJob(sim::ByteReader& r, SvcCheckpoint::JobEntry& e) {
   }
   j.exitStatus = r.i64();
   j.preemptCount = static_cast<int>(r.u32());
+  if (version >= 5) j.ckptSeq = r.u32();
   return r.ok();
 }
 
 }  // namespace
 
-void SvcCheckpoint::encode(sim::ByteWriter& w) const {
-  w.u32(kVersion);
+void SvcCheckpoint::encode(sim::ByteWriter& w, std::uint32_t version) const {
+  w.u32(version);
   w.u64(takenAt);
   w.u64(scheduleHash);
   w.u32(nextId);
@@ -87,11 +91,17 @@ void SvcCheckpoint::encode(sim::ByteWriter& w) const {
   w.u64(requeueLatencyTotal);
   w.u64(requeueCount);
   w.u64(preemptions);
+  if (version >= 5) {
+    w.u64(ckptRequests);
+    w.u64(ckptCommits);
+    w.u64(ckptFallbacks);
+    w.u64(ckptResumes);
+  }
   w.u64(firstSubmit);
   w.u64(lastEnd);
   w.u64(pumpDue);
   w.u64(jobs.size());
-  for (const JobEntry& e : jobs) encodeJob(w, e);
+  for (const JobEntry& e : jobs) encodeJob(w, e, version);
   w.u64(queue.size());
   for (JobId id : queue) w.u32(id);
   w.u64(running.size());
@@ -113,7 +123,8 @@ void SvcCheckpoint::encode(sim::ByteWriter& w) const {
 }
 
 bool SvcCheckpoint::decode(sim::ByteReader& r) {
-  if (r.u32() != kVersion) return false;
+  const std::uint32_t ver = r.u32();
+  if (ver != 4 && ver != kVersion) return false;
   takenAt = r.u64();
   scheduleHash = r.u64();
   nextId = r.u32();
@@ -126,13 +137,19 @@ bool SvcCheckpoint::decode(sim::ByteReader& r) {
   requeueLatencyTotal = r.u64();
   requeueCount = r.u64();
   preemptions = r.u64();
+  if (ver >= 5) {
+    ckptRequests = r.u64();
+    ckptCommits = r.u64();
+    ckptFallbacks = r.u64();
+    ckptResumes = r.u64();
+  }
   firstSubmit = r.u64();
   lastEnd = r.u64();
   pumpDue = r.u64();
   const std::uint64_t nj = r.u64();
   for (std::uint64_t i = 0; i < nj && r.ok(); ++i) {
     JobEntry e;
-    if (!decodeJob(r, e)) return false;
+    if (!decodeJob(r, e, ver)) return false;
     jobs.push_back(std::move(e));
   }
   const std::uint64_t nq = r.u64();

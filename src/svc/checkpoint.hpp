@@ -42,7 +42,14 @@ struct SvcCheckpoint {
   // preemption count, the header carries the preemption counter, a
   // 15th RAS code (kQuotaRejected) widens the tally arrays again, and
   // an svc::Accounting section follows the RAS section.
-  static constexpr std::uint32_t kVersion = 4;
+  // v5: application checkpoint/restart — job entries append ckptSeq
+  // (highest committed app-checkpoint sequence; requeued jobs with
+  // ckptSeq > 0 boot into restore), the header appends the four ckpt
+  // counters, and four RAS codes (kCkptBegin/Commit/Restore/Failed)
+  // widen the tally arrays from 15 to 19 entries. decode() still
+  // accepts v4 (new fields default to zero) so an upgrade across a
+  // warm restart never cold-starts the control plane.
+  static constexpr std::uint32_t kVersion = 5;
 
   struct JobEntry {
     JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty
@@ -65,6 +72,11 @@ struct SvcCheckpoint {
   std::uint64_t requeueCount = 0;
   /// Jobs killed and requeued for higher-QOS work (v4).
   std::uint64_t preemptions = 0;
+  /// Checkpoint-then-preempt accounting (v5).
+  std::uint64_t ckptRequests = 0;   // preemptions that asked for a ckpt
+  std::uint64_t ckptCommits = 0;    // requests every node committed
+  std::uint64_t ckptFallbacks = 0;  // deadline/fault -> scratch requeue
+  std::uint64_t ckptResumes = 0;    // launches booted into restore
   sim::Cycle firstSubmit = 0;
   sim::Cycle lastEnd = 0;
   /// Absolute cycle the next control-loop pump was scheduled for;
@@ -78,8 +90,11 @@ struct SvcCheckpoint {
   std::vector<PendingNodeOp> ops;  // parallel to nodes
   std::vector<std::string> timeline;
 
-  void encode(sim::ByteWriter& w) const;
-  /// Returns false on version mismatch or truncation.
+  /// `version` exists for tests exercising the upgrade path; real
+  /// callers always write the current layout.
+  void encode(sim::ByteWriter& w, std::uint32_t version = kVersion) const;
+  /// Returns false on version mismatch or truncation. Accepts v4
+  /// images (pre-ckpt layout; the new fields decode as zero).
   bool decode(sim::ByteReader& r);
 };
 

@@ -81,6 +81,10 @@ struct JobRecord {
   /// Times this job was preempted for higher-QOS work (preemption does
   /// not charge the maxRetries budget; this counts separately).
   int preemptCount = 0;
+  /// Highest committed application-checkpoint sequence observed for
+  /// this job (0 = none). A requeued job with ckptSeq > 0 boots into
+  /// restore instead of running from scratch.
+  std::uint32_t ckptSeq = 0;
 };
 
 }  // namespace bg::svc

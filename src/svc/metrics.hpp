@@ -84,6 +84,12 @@ struct SvcMetrics {
   std::uint64_t preemptions = 0;  // jobs killed+requeued for QOS
   std::vector<AccountMetrics> accounts;
 
+  // Application checkpoint/restart plane.
+  std::uint64_t ckptRequests = 0;   // preemptions that asked for a ckpt
+  std::uint64_t ckptCommits = 0;    // requests every node committed
+  std::uint64_t ckptFallbacks = 0;  // deadline/fault -> scratch requeue
+  std::uint64_t ckptResumes = 0;    // launches booted into restore
+
   // Control-plane failover (filled by ServiceHost).
   std::uint64_t serviceCrashes = 0;
   std::uint64_t serviceRestarts = 0;
@@ -150,6 +156,12 @@ struct SvcMetrics {
     fault.set("mean_requeue_cycles", meanRequeueCycles);
     fault.set("requeue_samples", requeueSamples);
     j.set("fault", std::move(fault));
+    sim::Json ck = sim::Json::object();
+    ck.set("requests", ckptRequests);
+    ck.set("commits", ckptCommits);
+    ck.set("fallbacks", ckptFallbacks);
+    ck.set("resumes", ckptResumes);
+    j.set("ckpt", std::move(ck));
     if (!accounts.empty()) {
       sim::Json fs = sim::Json::object();
       fs.set("preemptions", preemptions);

@@ -175,6 +175,17 @@ void ServiceNode::pollCompletions() {
   for (JobId id : running) {
     JobRecord* jr = find(id);
     if (jr == nullptr || jr->state != JobState::kRunning) continue;
+    // Track the highest app-checkpoint sequence the job's nodes have
+    // committed (application ckpt_save or a preempt window), so a
+    // later requeue relaunches into restore. Poll-only: no hash note,
+    // so checkpoint-free streams keep their pinned schedule digests.
+    if (jr->desc.kernel == rt::KernelKind::kCnk) {
+      for (int n : jr->nodesHeld) {
+        if (auto* c = cluster_.cnkOn(n)) {
+          jr->ckptSeq = std::max(jr->ckptSeq, c->ckptSeqCommitted());
+        }
+      }
+    }
     bool allExited = true;
     bool anyBad = false;
     std::int64_t status = 0;
@@ -278,6 +289,12 @@ bool ServiceNode::launch(JobRecord& jr, const std::vector<int>& nodes) {
     spec.libs = jr.desc.libs;
     spec.sharedMemBytes = jr.desc.sharedMemBytes;
     spec.firstRank = static_cast<int>(i) * jr.desc.processes;
+    // Identity + restore gate: a requeued job that committed an
+    // application checkpoint boots into restore and resumes mid-stream
+    // (each node pulls its own per-rank image; a missing or torn image
+    // falls back to a scratch start inside the kernel).
+    spec.jobId = jr.id;
+    spec.restore = jr.ckptSeq > 0;
     const std::size_t before = cluster_.kernelOn(n).processes().size();
     if (!cluster_.loadJobOnNode(n, spec)) {
       ok = false;
@@ -314,6 +331,10 @@ bool ServiceNode::launch(JobRecord& jr, const std::vector<int>& nodes) {
   runningIds_.push_back(jr.id);
   accounting_.onLaunch(jr.desc.account, static_cast<int>(nodes.size()));
   note("launch", jr.id, now, nodes);
+  if (jr.ckptSeq > 0) {
+    ++ckptResumes_;
+    note("resume", jr.id, now, nodes);
+  }
   return true;
 }
 
@@ -364,6 +385,90 @@ void ServiceNode::requeueOrFail(JobRecord& jr, sim::Cycle now) {
 }
 
 void ServiceNode::preemptJob(JobRecord& jr, sim::Cycle now) {
+  if (pendingCkpts_.count(jr.id) != 0) return;  // window already open
+  if (cfg_.ckpt.onPreempt && !jr.nodesHeld.empty()) {
+    bool allCnk = true;
+    for (int n : jr.nodesHeld) {
+      if (cluster_.kernelKindOn(n) != rt::KernelKind::kCnk) {
+        allCnk = false;
+        break;
+      }
+    }
+    if (allCnk) {
+      // Open a checkpoint window: every held node cuts + commits an
+      // application image while the job keeps running; the kill is
+      // deferred to the last ack (or the deadline, whichever first).
+      ++ckptRequests_;
+      note("ckpt_req", jr.id, now, jr.nodesHeld);
+      const std::uint64_t token = ++ckptTokens_;
+      PendingCkpt& pc = pendingCkpts_[jr.id];
+      pc.remaining = static_cast<int>(jr.nodesHeld.size());
+      pc.failed = false;
+      pc.token = token;
+      const JobId id = jr.id;
+      // A kernel may refuse synchronously, and the resulting last ack
+      // tears the window down and edits jr.nodesHeld — iterate a copy.
+      const std::vector<int> held = jr.nodesHeld;
+      for (int n : held) {
+        cluster_.cnkOn(n)->requestCheckpoint(
+            [alive = std::weak_ptr<bool>(alive_), this, id, token](bool ok) {
+              if (alive.expired()) return;
+              onCkptAck(id, token, ok);
+            });
+      }
+      engine().scheduleAt(
+          now + cfg_.ckpt.deadlineCycles,
+          guarded([this, id, token] { onCkptDeadline(id, token); }));
+      return;
+    }
+  }
+  finishPreempt(jr, now);
+}
+
+void ServiceNode::onCkptAck(JobId id, std::uint64_t token, bool ok) {
+  const auto it = pendingCkpts_.find(id);
+  if (it == pendingCkpts_.end() || it->second.token != token) return;
+  if (!ok) it->second.failed = true;
+  if (--it->second.remaining > 0) return;
+  const bool committed = !it->second.failed;
+  pendingCkpts_.erase(it);
+  JobRecord* jr = find(id);
+  if (jr == nullptr || jr->state != JobState::kRunning) return;
+  const sim::Cycle now = engine().now();
+  if (committed) {
+    ++ckptCommits_;
+    for (int n : jr->nodesHeld) {
+      if (auto* c = cluster_.cnkOn(n)) {
+        jr->ckptSeq = std::max(jr->ckptSeq, c->ckptSeqCommitted());
+      }
+    }
+    note("ckpt_commit", id, now, jr->nodesHeld);
+  } else {
+    // Some node refused or its commit failed; the requeue falls back
+    // to whatever the job had committed before (possibly nothing).
+    ++ckptFallbacks_;
+    note("ckpt_fallback", id, now, jr->nodesHeld);
+  }
+  finishPreempt(*jr, now);
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::onCkptDeadline(JobId id, std::uint64_t token) {
+  const auto it = pendingCkpts_.find(id);
+  if (it == pendingCkpts_.end() || it->second.token != token) return;
+  pendingCkpts_.erase(it);  // late acks for this window become stale
+  ++ckptFallbacks_;
+  JobRecord* jr = find(id);
+  if (jr == nullptr || jr->state != JobState::kRunning) return;
+  const sim::Cycle now = engine().now();
+  note("ckpt_timeout", id, now, jr->nodesHeld);
+  finishPreempt(*jr, now);
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::finishPreempt(JobRecord& jr, sim::Cycle now) {
   ++preemptions_;
   ++jr.preemptCount;
   note("preempt", jr.id, now, jr.nodesHeld);
@@ -654,6 +759,10 @@ SvcCheckpoint ServiceNode::buildCheckpoint() {
   ck.requeueLatencyTotal = requeueLatencyTotal_;
   ck.requeueCount = requeueCount_;
   ck.preemptions = preemptions_;
+  ck.ckptRequests = ckptRequests_;
+  ck.ckptCommits = ckptCommits_;
+  ck.ckptFallbacks = ckptFallbacks_;
+  ck.ckptResumes = ckptResumes_;
   ck.firstSubmit = firstSubmit_;
   ck.lastEnd = lastEnd_;
   ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
@@ -743,6 +852,10 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   requeueLatencyTotal_ = ck.requeueLatencyTotal;
   requeueCount_ = ck.requeueCount;
   preemptions_ = ck.preemptions;
+  ckptRequests_ = ck.ckptRequests;
+  ckptCommits_ = ck.ckptCommits;
+  ckptFallbacks_ = ck.ckptFallbacks;
+  ckptResumes_ = ck.ckptResumes;
   firstSubmit_ = ck.firstSubmit;
   lastEnd_ = ck.lastEnd;
   hash_.restore(ck.scheduleHash);
@@ -946,6 +1059,10 @@ SvcMetrics ServiceNode::metrics() {
   m.hangsDetected = watchdog_.hangsDetected();
   m.nodesRetired = nodesRetired_;
   m.preemptions = preemptions_;
+  m.ckptRequests = ckptRequests_;
+  m.ckptCommits = ckptCommits_;
+  m.ckptFallbacks = ckptFallbacks_;
+  m.ckptResumes = ckptResumes_;
   if (accounting_.enabled()) {
     accounting_.decayTo(now);
     for (std::size_t i = 0; i < accounting_.numAccounts(); ++i) {

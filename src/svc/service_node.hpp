@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +78,17 @@ struct ServiceNodeConfig {
   /// accounts = single-tenant: no accounting state, no new hash notes,
   /// schedules stay bit-identical to the pre-tenancy control plane.
   FairShareConfig fairshare;
+  /// Checkpoint-then-preempt: when enabled, a preemption victim is
+  /// first asked to checkpoint (every held CNK node cuts and commits
+  /// an application image) and only then killed + requeued, so its
+  /// relaunch resumes mid-stream instead of from scratch. If any node
+  /// fails to commit by the deadline the preemption falls back to the
+  /// plain kill-and-requeue path. Off by default: the request adds a
+  /// hash note, so pinned fair-share schedules stay bit-identical.
+  struct CkptConfig {
+    bool onPreempt = false;
+    sim::Cycle deadlineCycles = 400'000;
+  } ckpt;
   RasAggregatorConfig ras;
 };
 
@@ -168,6 +180,13 @@ class ServiceNode {
   Accounting& accounting() { return accounting_; }
   const Accounting& accounting() const { return accounting_; }
   std::uint64_t preemptions() const { return preemptions_; }
+  /// Checkpoint-then-preempt accounting: requests issued, requests
+  /// every node committed, fallbacks to kill-and-requeue (deadline or
+  /// commit failure), and launches that booted into restore.
+  std::uint64_t ckptRequests() const { return ckptRequests_; }
+  std::uint64_t ckptCommits() const { return ckptCommits_; }
+  std::uint64_t ckptFallbacks() const { return ckptFallbacks_; }
+  std::uint64_t ckptResumes() const { return ckptResumes_; }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
@@ -211,9 +230,16 @@ class ServiceNode {
   /// fail it once retries are exhausted). Shared by the fatal path,
   /// predictive drain, and restart reconciliation.
   void requeueOrFail(JobRecord& jr, sim::Cycle now);
-  /// Kill a running job and requeue it (no retry charged) because the
-  /// fair-share policy picked it as a preemption victim.
+  /// Preemption entry point: with ckpt.onPreempt set and the victim
+  /// all-CNK, opens a checkpoint window (job keeps running while every
+  /// held node cuts + commits an image) and defers the actual kill to
+  /// onCkptAck/onCkptDeadline; otherwise kills and requeues directly.
   void preemptJob(JobRecord& jr, sim::Cycle now);
+  /// The pre-checkpoint preemption body: kill, drain, requeue at the
+  /// back of the queue with no retry budget consumed.
+  void finishPreempt(JobRecord& jr, sim::Cycle now);
+  void onCkptAck(JobId id, std::uint64_t token, bool ok);
+  void onCkptDeadline(JobId id, std::uint64_t token);
   /// Accounting hook shared by every running-job-release path: charge
   /// decayed/lifetime usage for the attempt and drop running tallies.
   void chargeStopped(JobRecord& jr, sim::Cycle now);
@@ -270,6 +296,21 @@ class ServiceNode {
   std::uint64_t ioReboots_ = 0;
   std::uint64_t nodesRetired_ = 0;
   std::uint64_t preemptions_ = 0;
+  /// Open checkpoint-then-preempt windows, keyed by victim job id. Not
+  /// checkpointed: a control-plane crash mid-window simply loses the
+  /// preemption decision (the job keeps running, its leases verify on
+  /// restart, and the policy re-selects a victim on a later pump).
+  struct PendingCkpt {
+    int remaining = 0;          // node acks still outstanding
+    bool failed = false;        // any node reported a failed commit
+    std::uint64_t token = 0;    // invalidates stale acks/deadlines
+  };
+  std::map<JobId, PendingCkpt> pendingCkpts_;
+  std::uint64_t ckptTokens_ = 0;
+  std::uint64_t ckptRequests_ = 0;
+  std::uint64_t ckptCommits_ = 0;
+  std::uint64_t ckptFallbacks_ = 0;
+  std::uint64_t ckptResumes_ = 0;
   /// Mean-time-to-requeue accounting: fatal RAS event raised (its
   /// logged cycle) -> victim job back on the queue (or failed out).
   std::uint64_t requeueLatencyTotal_ = 0;

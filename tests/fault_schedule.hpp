@@ -30,6 +30,16 @@
 //    node's kernel can't run on a dead core — so detection is the
 //    service node's heartbeat watchdog noticing the progress counter
 //    stopped (clusters armed with these need hangTimeoutCycles > 0).
+//  - kCkptIoCrash / kCkptUe / kCkptSvcCrash: the application-ckpt
+//    torture trio. Mechanically these reuse the CIOD fail-stop, the
+//    uncorrectable-ECC latch, and the control-plane crash, but a
+//    checkpoint-heavy schedule aims them into the windows the ckpt
+//    invariants must survive: a CIOD death mid image write (the
+//    two-phase commit must leave the previous image valid), a UE
+//    between a node's commit and the service node learning of it (the
+//    requeue resumes from the newest *acknowledged* sequence), and a
+//    control-plane crash inside an open preempt window (the window is
+//    deliberately not checkpointed; restart re-selects a victim).
 //
 // The harness only pokes the control loop when one is alive; faults
 // landing during an outage sit in the kernel logs until the restarted
@@ -54,6 +64,9 @@ struct FaultEvent {
     kMemUe,
     kCeStorm,
     kCoreHang,
+    kCkptIoCrash,
+    kCkptUe,
+    kCkptSvcCrash,
   };
   Kind kind = Kind::kNodeDeath;
   sim::Cycle atCycle = 0;
@@ -92,6 +105,18 @@ class FaultSchedule {
     events_.push_back({FaultEvent::Kind::kCoreHang, at, node, 0, 0});
     return *this;
   }
+  FaultSchedule& ckptIoCrash(int ioIdx, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kCkptIoCrash, at, ioIdx, 0, 0});
+    return *this;
+  }
+  FaultSchedule& ckptUe(int node, sim::Cycle at) {
+    events_.push_back({FaultEvent::Kind::kCkptUe, at, node, 0, 0});
+    return *this;
+  }
+  FaultSchedule& ckptSvcCrash(sim::Cycle at, sim::Cycle down) {
+    events_.push_back({FaultEvent::Kind::kCkptSvcCrash, at, -1, down, 0});
+    return *this;
+  }
 
   /// Seeded mixed schedule over [0, horizon): `crashes` control-plane
   /// outages, `deaths` node losses, `storms` warn bursts, `ioDeaths`
@@ -103,7 +128,9 @@ class FaultSchedule {
                               sim::Cycle horizon, int crashes, int deaths,
                               int storms, int ioDeaths = 0,
                               int ioNodes = 1, int memUes = 0,
-                              int ceStorms = 0, int coreHangs = 0) {
+                              int ceStorms = 0, int coreHangs = 0,
+                              int ckptIoCrashes = 0, int ckptUes = 0,
+                              int ckptSvcCrashes = 0) {
     sim::Rng rng(seed, "fault-schedule");
     FaultSchedule fs;
     for (int i = 0; i < crashes; ++i) {
@@ -141,6 +168,20 @@ class FaultSchedule {
       fs.coreHang(static_cast<int>(rng.nextBelow(
                       static_cast<std::uint64_t>(nodes))),
                   1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < ckptIoCrashes; ++i) {
+      fs.ckptIoCrash(static_cast<int>(rng.nextBelow(
+                         static_cast<std::uint64_t>(ioNodes))),
+                     1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < ckptUes; ++i) {
+      fs.ckptUe(static_cast<int>(rng.nextBelow(
+                    static_cast<std::uint64_t>(nodes))),
+                1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < ckptSvcCrashes; ++i) {
+      const sim::Cycle at = 1 + rng.nextBelow(horizon);
+      fs.ckptSvcCrash(at, 50'000 + rng.nextBelow(400'000));
     }
     return fs;
   }
@@ -205,6 +246,21 @@ class FaultSchedule {
           eng.scheduleAt(f.atCycle, [&cluster, node = f.node] {
             cluster.machine().node(node).core(0).hang();
           });
+          break;
+        case FaultEvent::Kind::kCkptIoCrash:
+          eng.scheduleAt(f.atCycle, [&cluster, idx = f.node] {
+            if (!cluster.ciod(idx).crashed()) cluster.ciod(idx).crash();
+          });
+          break;
+        case FaultEvent::Kind::kCkptUe:
+          eng.scheduleAt(f.atCycle, [&cluster, &host, node = f.node] {
+            cluster.machine().node(node).injectUncorrectable(
+                0xCC0000ULL + (static_cast<std::uint64_t>(node) << 12));
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kCkptSvcCrash:
+          host.scheduleCrashRestart(f.atCycle, f.downCycles);
           break;
       }
     }

@@ -1,12 +1,21 @@
 // PersistRegistry misuse: pool exhaustion, uid mismatch on reopen,
 // oversized reopen, page rounding, and the address-stability contract
 // (paper §IV-D) that the service-node checkpoint store leans on.
+// Plus the persistence upgrade/corruption edges the checkpoint planes
+// add: the v4 -> v5 SvcCheckpoint layout change, and torn application
+// checkpoint images rejected by the seal with a scratch fallback.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "cluster_test_util.hpp"
+#include "cnk/ckpt_image.hpp"
 #include "cnk/persist.hpp"
 #include "hw/phys_mem.hpp"
+#include "kernel/syscalls.hpp"
+#include "svc/checkpoint.hpp"
 
 namespace bg {
 namespace {
@@ -93,6 +102,148 @@ TEST(PersistEdges, RemovedNameReusesNoPoolSpace) {
   ASSERT_TRUE(reg.openOrCreate("tmp2", kMB, 1).has_value());
   // Pool now exhausted even though only one region is live.
   EXPECT_FALSE(reg.openOrCreate("tmp3", kMB, 1).has_value());
+}
+
+// ---------------------------------------------------------------------
+// SvcCheckpoint v4 -> v5 upgrade path
+// ---------------------------------------------------------------------
+
+svc::SvcCheckpoint sampleCheckpoint() {
+  svc::SvcCheckpoint ck;
+  ck.takenAt = 123'456;
+  ck.scheduleHash = 0xFEEDFACE;
+  ck.nextId = 9;
+  ck.preemptions = 3;
+  ck.ckptRequests = 4;
+  ck.ckptCommits = 3;
+  ck.ckptFallbacks = 1;
+  ck.ckptResumes = 2;
+  svc::SvcCheckpoint::JobEntry e;
+  e.rec.id = 7;
+  e.rec.desc.name = "upgradee";
+  e.rec.state = svc::JobState::kQueued;
+  e.rec.attempts = 2;
+  e.rec.preemptCount = 1;
+  e.rec.ckptSeq = 5;
+  e.exeName = "upgradee.elf";
+  ck.jobs.push_back(std::move(e));
+  ck.queue.push_back(7);
+  return ck;
+}
+
+TEST(PersistEdges, SvcCheckpointV4ImageDecodesWithCkptFieldsZero) {
+  // A v4 image (written by the pre-ckpt control plane) must decode on
+  // the v5 code: everything it carries round-trips, and the fields the
+  // layout predates — the four ckpt counters and per-job ckptSeq —
+  // come back zero, i.e. "no application checkpoint known", which is
+  // exactly the safe default (a requeue after upgrade runs scratch).
+  const svc::SvcCheckpoint src = sampleCheckpoint();
+  sim::ByteWriter w;
+  src.encode(w, 4);
+  sim::ByteReader r(w.bytes());
+  svc::SvcCheckpoint dec;
+  ASSERT_TRUE(dec.decode(r));
+  EXPECT_EQ(dec.takenAt, src.takenAt);
+  EXPECT_EQ(dec.scheduleHash, src.scheduleHash);
+  EXPECT_EQ(dec.nextId, src.nextId);
+  EXPECT_EQ(dec.preemptions, src.preemptions);
+  ASSERT_EQ(dec.jobs.size(), 1u);
+  EXPECT_EQ(dec.jobs[0].rec.id, 7u);
+  EXPECT_EQ(dec.jobs[0].rec.preemptCount, 1);
+  EXPECT_EQ(dec.ckptRequests, 0u);
+  EXPECT_EQ(dec.ckptCommits, 0u);
+  EXPECT_EQ(dec.ckptFallbacks, 0u);
+  EXPECT_EQ(dec.ckptResumes, 0u);
+  EXPECT_EQ(dec.jobs[0].rec.ckptSeq, 0u);
+}
+
+TEST(PersistEdges, SvcCheckpointV5RoundTripsCkptFields) {
+  const svc::SvcCheckpoint src = sampleCheckpoint();
+  sim::ByteWriter w;
+  src.encode(w);
+  sim::ByteReader r(w.bytes());
+  svc::SvcCheckpoint dec;
+  ASSERT_TRUE(dec.decode(r));
+  EXPECT_EQ(dec.ckptRequests, 4u);
+  EXPECT_EQ(dec.ckptCommits, 3u);
+  EXPECT_EQ(dec.ckptFallbacks, 1u);
+  EXPECT_EQ(dec.ckptResumes, 2u);
+  ASSERT_EQ(dec.jobs.size(), 1u);
+  EXPECT_EQ(dec.jobs[0].rec.ckptSeq, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Torn application checkpoint images
+// ---------------------------------------------------------------------
+
+std::int64_t sysNum(kernel::Sys s) { return static_cast<std::int64_t>(s); }
+
+/// Same shape as test_ckpt's oracle app: ckpt_save between two compute
+/// phases, sample[0] = saved(0)/resumed(1), sample[1] = accumulator.
+vm::Program tornApp() {
+  vm::ProgramBuilder b("torn-app");
+  b.li(20, 0);
+  const auto top1 = b.loopBegin(21, 6);
+  b.compute(2'000);
+  b.addi(20, 20, 7);
+  b.loopEnd(21, top1);
+  b.syscall(sysNum(kernel::Sys::kCkptSave));
+  b.sample(0);
+  const auto top2 = b.loopBegin(21, 6);
+  b.compute(2'000);
+  b.addi(20, 20, 3);
+  b.loopEnd(21, top2);
+  b.sample(20);
+  test::emitExit(b);
+  return std::move(b).build();
+}
+
+/// Commit an image, mangle it with `mangle`, then restore-reload and
+/// expect a seal rejection followed by a scratch run with the full
+/// answer — corruption must never wedge or half-apply.
+void runTornImageCase(
+    const std::function<std::vector<std::byte>(std::vector<std::byte>)>&
+        mangle) {
+  std::unique_ptr<rt::Cluster> cluster;
+  auto r = test::runProgram({}, tornApp(), &cluster);
+  ASSERT_TRUE(r.completed);
+  cnk::CnkKernel* k = cluster->cnkOn(0);
+  ASSERT_EQ(k->ckptSeqCommitted(), 1u);
+  const std::uint64_t fullAnswer = r.samples.at(1);
+
+  io::RamFs& fs = cluster->ioRootFs(0);
+  const std::string path = cnk::ckpt::imagePath(0, 0);
+  fs.putFile(path, mangle(fs.fileContents(path)));
+
+  k->unloadJob();
+  kernel::JobSpec job;
+  job.exe = kernel::ElfImage::makeExecutable("test", tornApp());
+  job.restore = true;
+  std::vector<std::uint64_t> samples;
+  cluster->attachSamples(0, 0, &samples);
+  ASSERT_TRUE(cluster->loadJob(job));
+  ASSERT_TRUE(cluster->run());
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0], 0u) << "corrupt image must scratch-start";
+  EXPECT_EQ(samples[1], fullAnswer);
+  EXPECT_EQ(k->ckptRestores(), 0u);
+  EXPECT_GE(k->ckptFailures(), 1u);
+  // The scratch run's own ckpt_save re-committed a fresh valid image.
+  EXPECT_EQ(k->ckptSeqCommitted(), 1u);
+}
+
+TEST(PersistEdges, TornCkptImageFailsSealAndFallsBackToScratch) {
+  runTornImageCase([](std::vector<std::byte> bytes) {
+    bytes.at(bytes.size() / 2) ^= std::byte{0x40};
+    return bytes;
+  });
+}
+
+TEST(PersistEdges, TruncatedCkptImageFailsSealAndFallsBackToScratch) {
+  runTornImageCase([](std::vector<std::byte> bytes) {
+    bytes.resize(bytes.size() / 2);
+    return bytes;
+  });
 }
 
 }  // namespace

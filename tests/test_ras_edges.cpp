@@ -234,6 +234,25 @@ TEST(RasEdges, EveryCodeHasADistinctName) {
             RasEvent::Severity::kWarn);
   EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kFrontDoorRestart),
             RasEvent::Severity::kInfo);
+  // Application checkpoint/restart codes: appended at the end of the
+  // enum, milestones informational, only the failure path warns (the
+  // previous committed image or a scratch restart remains the truth).
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kCkptBegin),
+               "ckpt_begin");
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kCkptCommit),
+               "ckpt_commit");
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kCkptRestore),
+               "ckpt_restore");
+  EXPECT_STREQ(kernel::rasCodeName(RasEvent::Code::kCkptFailed),
+               "ckpt_failed");
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kCkptBegin),
+            RasEvent::Severity::kInfo);
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kCkptCommit),
+            RasEvent::Severity::kInfo);
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kCkptRestore),
+            RasEvent::Severity::kInfo);
+  EXPECT_EQ(kernel::defaultRasSeverity(RasEvent::Code::kCkptFailed),
+            RasEvent::Severity::kWarn);
 }
 
 }  // namespace
