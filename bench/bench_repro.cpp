@@ -15,7 +15,14 @@
 //  3. Multichip: two chips coordinate their reboot over the global
 //     barrier network; a packet injected a fixed delay after release
 //     arrives at the same relative cycle on every trial.
+//
+// --json <path> writes the results machine-readably, including a
+// double-run determinism digest: the full CNK witness (per-sample
+// timings, logic-scan ladder, completion cycle) folded to one value
+// for two independent runs — equal digests are the reproducibility
+// receipt CI can diff across hosts and revisions.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "apps/fwq.hpp"
@@ -65,6 +72,28 @@ bool sameWitness(const RunWitness& a, const RunWitness& b) {
          a.doneAt == b.doneAt;
 }
 
+/// Fold a witness (every sample, every scan, the completion cycle)
+/// into one digest; two reproducible runs must produce equal digests.
+std::uint64_t witnessDigest(const RunWitness& w) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(w.samples.size());
+  for (const std::uint64_t s : w.samples) mix(s);
+  mix(w.scans.size());
+  for (const std::uint64_t s : w.scans) mix(s);
+  mix(w.doneAt);
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
 /// Reset-tolerance experiment on one machine.
 bool resetTolerance() {
   rt::ClusterConfig cfg;
@@ -108,7 +137,7 @@ bool resetTolerance() {
 }
 
 /// Multichip coordinated reboot: relative packet arrival is constant.
-bool multichip() {
+bool multichip(sim::Cycle* relOut) {
   rt::ClusterConfig cfg;
   cfg.computeNodes = 2;
   rt::Cluster cluster(cfg);
@@ -161,6 +190,7 @@ bool multichip() {
   for (const sim::Cycle c : relativeArrivals) {
     if (c != relativeArrivals.front()) allEqual = false;
   }
+  if (relOut != nullptr) *relOut = relativeArrivals.front();
   std::printf("  multichip: packet arrival %llu cycles after barrier "
               "release on every trial: %s\n",
               static_cast<unsigned long long>(relativeArrivals.front()),
@@ -170,32 +200,63 @@ bool multichip() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
   std::printf("Cycle reproducibility (paper SectionIII)\n\n");
 
   std::printf("Run-to-run reproducibility (two fresh machines, "
               "same workload):\n");
-  {
-    const RunWitness a = witnessRun(rt::KernelKind::kCnk, 1);
-    const RunWitness b = witnessRun(rt::KernelKind::kCnk, 2);
-    std::printf("  CNK: scans=%zu  identical samples/scans/completion: "
-                "%s\n", a.scans.size(), sameWitness(a, b) ? "yes" : "NO");
-  }
-  {
-    const RunWitness a = witnessRun(rt::KernelKind::kFwk, 1);
-    const RunWitness b = witnessRun(rt::KernelKind::kFwk, 2);
-    std::printf("  Linux(FWK), different boot entropy: diverges: %s\n",
-                !sameWitness(a, b) ? "yes" : "NO (unexpectedly identical)");
-  }
+  // Double-run determinism digest: the same CNK configuration built
+  // and driven twice; the full witnesses must fold to equal digests.
+  const RunWitness cnkRun1 = witnessRun(rt::KernelKind::kCnk, 1);
+  const RunWitness cnkRun2 = witnessRun(rt::KernelKind::kCnk, 2);
+  const std::uint64_t digest1 = witnessDigest(cnkRun1);
+  const std::uint64_t digest2 = witnessDigest(cnkRun2);
+  const bool cnkIdentical = sameWitness(cnkRun1, cnkRun2);
+  std::printf("  CNK: scans=%zu  identical samples/scans/completion: "
+              "%s  digest=%s\n",
+              cnkRun1.scans.size(), cnkIdentical ? "yes" : "NO",
+              hex64(digest1).c_str());
+  const RunWitness fwkRun1 = witnessRun(rt::KernelKind::kFwk, 1);
+  const RunWitness fwkRun2 = witnessRun(rt::KernelKind::kFwk, 2);
+  const bool fwkDiverges = !sameWitness(fwkRun1, fwkRun2);
+  std::printf("  Linux(FWK), different boot entropy: diverges: %s\n",
+              fwkDiverges ? "yes" : "NO (unexpectedly identical)");
 
   std::printf("\nReset tolerance (flush, DDR self-refresh, restart):\n");
-  resetTolerance();
+  const bool resetOk = resetTolerance();
 
   std::printf("\nMultichip barrier-coordinated reproducible reboot:\n");
-  multichip();
+  sim::Cycle relArrival = 0;
+  const bool multichipOk = multichip(&relArrival);
 
   std::printf("\npaper: CNK restarts identically from reset; the barrier "
               "network alignment lets one chip\ninject on exactly the same "
               "cycle relative to the other across reboots.\n");
-  return 0;
+
+  const bool allOk =
+      cnkIdentical && digest1 == digest2 && fwkDiverges && resetOk &&
+      multichipOk;
+  if (jsonPath != nullptr) {
+    sim::Json j = sim::Json::object();
+    j.set("bench", "repro");
+    sim::Json d = sim::Json::object();
+    d.set("run1", hex64(digest1));
+    d.set("run2", hex64(digest2));
+    d.set("match", digest1 == digest2);
+    d.set("samples", cnkRun1.samples.size());
+    d.set("scans", cnkRun1.scans.size());
+    d.set("done_at", cnkRun1.doneAt);
+    j.set("determinism_digest", std::move(d));
+    j.set("cnk_run_to_run_identical", cnkIdentical);
+    j.set("fwk_entropy_diverges", fwkDiverges);
+    j.set("reset_tolerance", resetOk);
+    sim::Json m = sim::Json::object();
+    m.set("stable", multichipOk);
+    m.set("relative_arrival_cycles", relArrival);
+    j.set("multichip", std::move(m));
+    j.set("pass", allOk);
+    if (!bg::bench::maybeWriteJson(jsonPath, j)) return 1;
+  }
+  return allOk ? 0 : 1;
 }

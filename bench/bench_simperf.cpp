@@ -17,11 +17,20 @@
 // --json <path> writes the per-phase and total numbers machine-
 // readably; BENCH_simperf.json in the repo root records a before/after
 // pair for the event-engine fast-path work.
+//
+// --lanes N runs the cluster phases (boot+fwq, jobstream) with N host
+// threads driving per-node event lanes. The merge is deterministic:
+// every phase hash must be bit-identical to the --lanes 1 run (the
+// perf-smoke CI job diffs them). events-micro is a raw single engine
+// with no nodes, so it always runs serially.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/fwq.hpp"
@@ -46,7 +55,31 @@ struct PhaseResult {
   std::uint64_t simCycles = 0;
   std::uint64_t events = 0;
   std::uint64_t hash = 0;  // schedule hash when the phase has one
+  sim::Engine::LaneStats lanes;  // all-zero when the phase ran serially
 };
+
+// Determinism witness for phases without a service-node schedule hash:
+// fold every node's RAS stream (boot completions, job load/exit, ...)
+// into one digest. Lane-mode runs must reproduce it bit-identically.
+// The final engine clock is deliberately NOT mixed in: a lane window
+// may overshoot the stop predicate by a few tick events, so wall-clock
+// style counters are mode-dependent while the RAS record is not.
+std::uint64_t rasDigest(rt::Cluster& cluster) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (int n = 0; n < cluster.config().computeNodes; ++n) {
+    for (const kernel::RasEvent& e : cluster.kernelOn(n).rasLog()) {
+      mix(static_cast<std::uint64_t>(n));
+      mix(e.cycle);
+      mix(static_cast<std::uint64_t>(e.code));
+      mix(static_cast<std::uint64_t>(e.severity));
+      mix(e.detail);
+    }
+  }
+  return h;
+}
 
 double eventsPerSec(const PhaseResult& p) {
   return p.wallSec > 0 ? static_cast<double>(p.events) / p.wallSec : 0;
@@ -103,7 +136,7 @@ PhaseResult runEventsMicro(bool quick) {
 
 // --- Phase 2: 32-node boot + FWQ ------------------------------------------
 
-PhaseResult runBootFwq(bool quick) {
+PhaseResult runBootFwq(bool quick, int lanes) {
   PhaseResult r;
   r.name = "boot+fwq";
   const Clock::time_point t0 = Clock::now();
@@ -115,6 +148,7 @@ PhaseResult runBootFwq(bool quick) {
   // tick + daemons), which keeps the decrementer re-arm path hot.
   cfg.nodeKernels.assign(32, rt::KernelKind::kCnk);
   for (int n = 24; n < 32; ++n) cfg.nodeKernels[n] = rt::KernelKind::kFwk;
+  cfg.hostLanes = lanes;
   rt::Cluster cluster(cfg);
   if (!cluster.bootAll(200'000'000)) {
     std::fprintf(stderr, "boot+fwq: boot failed\n");
@@ -131,6 +165,8 @@ PhaseResult runBootFwq(bool quick) {
   r.wallSec = secondsSince(t0);
   r.simCycles = cluster.engine().now();
   r.events = cluster.engine().eventsProcessed();
+  r.hash = rasDigest(cluster);
+  r.lanes = cluster.engine().laneStats();
   return r;
 }
 
@@ -147,7 +183,7 @@ std::shared_ptr<kernel::ElfImage> workImage(int id, std::uint64_t reps,
                                           std::move(b).build());
 }
 
-PhaseResult runJobstream(bool quick) {
+PhaseResult runJobstream(bool quick, int lanes) {
   PhaseResult r;
   r.name = "jobstream";
   const int jobs = quick ? 30 : 60;
@@ -159,6 +195,7 @@ PhaseResult runJobstream(bool quick) {
   cfg.nodeKernels.assign(8, rt::KernelKind::kCnk);
   cfg.nodeKernels[6] = rt::KernelKind::kFwk;
   cfg.nodeKernels[7] = rt::KernelKind::kFwk;
+  cfg.hostLanes = lanes;
   rt::Cluster cluster(cfg);
   svc::ServiceHost host(cluster, svc::ServiceNodeConfig{});
 
@@ -192,6 +229,7 @@ PhaseResult runJobstream(bool quick) {
   r.simCycles = cluster.engine().now();
   r.events = cluster.engine().eventsProcessed();
   r.hash = host.metrics().scheduleHash;
+  r.lanes = cluster.engine().laneStats();
   return r;
 }
 
@@ -222,6 +260,16 @@ sim::Json phaseJson(const PhaseResult& p) {
                   static_cast<unsigned long long>(p.hash));
     j.set("schedule_hash", std::string(buf));
   }
+  if (p.lanes.windows != 0) {
+    sim::Json l = sim::Json::object();
+    l.set("windows", p.lanes.windows);
+    l.set("shared_ops", p.lanes.sharedOps);
+    l.set("lane_events", p.lanes.laneEvents);
+    l.set("serial_events", p.lanes.serialEvents);
+    l.set("causality_violations", p.lanes.causalityViolations);
+    l.set("max_outbox_depth", p.lanes.maxOutboxDepth);
+    j.set("lane_stats", std::move(l));
+  }
   return j;
 }
 
@@ -229,22 +277,32 @@ sim::Json phaseJson(const PhaseResult& p) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int lanes = 1;
   const char* jsonPath = bg::bench::jsonPathArg(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lanes = std::atoi(argv[++i]);
+      if (lanes < 1) lanes = 1;
+    }
   }
 
   std::printf("simperf: host throughput of the simulator (wall clock)\n");
   std::printf("mix: events-micro + 32-node boot+FWQ + 8-node jobstream%s\n",
               quick ? " (--quick)" : "");
+  if (lanes > 1) {
+    std::printf("lanes: %d host threads over per-node event lanes "
+                "(%u cores on this host)\n",
+                lanes, std::thread::hardware_concurrency());
+  }
   bg::bench::printRule();
 
   std::vector<PhaseResult> phases;
   phases.push_back(runEventsMicro(quick));
   printPhase(phases.back());
-  phases.push_back(runBootFwq(quick));
+  phases.push_back(runBootFwq(quick, lanes));
   printPhase(phases.back());
-  phases.push_back(runJobstream(quick));
+  phases.push_back(runJobstream(quick, lanes));
   printPhase(phases.back());
 
   PhaseResult total;
@@ -261,6 +319,11 @@ int main(int argc, char** argv) {
     bg::sim::Json j = bg::sim::Json::object();
     j.set("bench", "simperf");
     j.set("quick", quick);
+    j.set("lanes", static_cast<std::int64_t>(lanes));
+    j.set("cores_used",
+          static_cast<std::int64_t>(std::min(
+              static_cast<unsigned>(lanes),
+              std::max(1u, std::thread::hardware_concurrency()))));
     bg::sim::Json arr = bg::sim::Json::array();
     for (const PhaseResult& p : phases) arr.push(phaseJson(p));
     j.set("phases", std::move(arr));

@@ -35,6 +35,30 @@ Machine::Machine(const MachineConfig& cfg)
       collFaults_(cfg_.seed, "collective-faults"),
       torusFaults_(cfg_.seed, "torus-faults"),
       memFaults_(cfg_.seed, "mem-faults") {
+  if (cfg_.hostLanes > 1 && !cfg_.memFaults.enabled()) {
+    // One lane per node (compute, I/O, spares); lane tags are a pure
+    // function of node ids, so the schedule cannot depend on which
+    // host thread runs which lane.
+    const int totalIo = cfg_.ioNodes + cfg_.spareIoNodes;
+    const auto lanes =
+        static_cast<std::uint32_t>(cfg_.computeNodes + totalIo);
+    sim::Cycle la = cfg_.laneLookahead;
+    if (la == 0) {
+      la = std::min(static_cast<sim::Cycle>(cfg_.collective.perHopLatency) *
+                        static_cast<sim::Cycle>(cfg_.collective.treeDepth),
+                    cfg_.barrier.latency);
+    }
+    engine_.configureLanes(lanes, static_cast<std::uint32_t>(cfg_.hostLanes),
+                           la);
+    for (int i = 0; i < cfg_.computeNodes; ++i) {
+      engine_.setNodeLane(i, static_cast<std::uint32_t>(1 + i));
+    }
+    for (int j = 0; j < totalIo; ++j) {
+      engine_.setNodeLane(
+          kIoNodeIdBase + j,
+          static_cast<std::uint32_t>(1 + cfg_.computeNodes + j));
+    }
+  }
   collFaults_.setDefaultRates(cfg_.collectiveFaults);
   torusFaults_.setDefaultRates(cfg_.torusFaults);
   collective_.setFaultModel(&collFaults_);

@@ -89,6 +89,21 @@ class TorusNet {
   std::uint64_t bytesMoved() const { return bytesMoved_; }
 
  private:
+  /// Bodies of the three transfer entry points; run serially (inline
+  /// in plain mode, merged at the lane barrier in lane mode) because
+  /// they reserve shared links and draw fault judgements. Note the
+  /// torus floor latencies sit below the machine's default lane
+  /// lookahead (collective-derived), so in-window torus traffic is
+  /// counted against the engine's causality-violation counter —
+  /// messaging-heavy workloads should run with --lanes 1.
+  void sendPacketNow(TorusPacket&& packet);
+  void dmaPutNow(int srcNode, PAddr srcPa, int dstNode, PAddr dstPa,
+                 std::uint64_t bytes,
+                 std::function<void()>&& onRemoteDelivered,
+                 std::function<void()>&& onLocalComplete);
+  void dmaGetNow(int srcNode, PAddr localPa, int dstNode, PAddr remotePa,
+                 std::uint64_t bytes, std::function<void()>&& onComplete);
+
   std::array<int, 3> coordsOf(int nodeId) const;
   /// Reserve the dimension-order route; returns (start, arrive) cycles.
   std::pair<sim::Cycle, sim::Cycle> reserveRoute(int src, int dst,
