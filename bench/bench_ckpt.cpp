@@ -4,7 +4,9 @@
 // Phase 1 runs an app that checkpoints K times mid-computation and
 // measures per-commit latency (kCkptBegin -> kCkptCommit in the RAS
 // stream: rendezvous + image build + two-phase ship to the I/O node)
-// plus the committed image size.
+// plus the committed image size. Each round dirties one more sparse
+// granule of heap, so successive images grow and the latency column
+// is a real distribution (p50 < p99), not K copies of one number.
 //
 // Phase 2 measures the requeue economics the checkpoint-then-preempt
 // scheduler banks on: the same two-phase app is re-run from scratch
@@ -32,11 +34,27 @@ using namespace bg;
 
 std::int64_t sysNum(kernel::Sys s) { return static_cast<std::int64_t>(s); }
 
-/// K rounds of (compute, ckpt_save): the commit-latency workload.
+/// K rounds of (compute, dirty a fresh heap granule, ckpt_save): the
+/// commit-latency workload. The image serializer elides all-zero 64KB
+/// granules, so stamping one new granule per round grows the shipped
+/// image round over round — without that, every commit ships an
+/// identical image and the "distribution" collapses to p50 == p99.
 vm::Program ckptLoopApp(std::int64_t rounds, std::uint64_t computeCycles) {
+  constexpr std::int64_t kGranule = 64 << 10;  // ckpt::kChunkBytes
   vm::ProgramBuilder b("ckpt-loop");
+  // Grow brk so the granule cursor stays inside the valid heap (the
+  // main-thread guard follows brk; stores above it would DAC-trap).
+  b.li(1, 0);
+  b.syscall(sysNum(kernel::Sys::kBrk));
+  b.mov(22, 0);  // r22 = granule cursor (starts at the old brk)
+  b.mov(1, 0);
+  b.addi(1, 1, (rounds + 1) * kGranule);
+  b.syscall(sysNum(kernel::Sys::kBrk));
+  b.li(23, 0x5a5a5a5a);  // non-zero stamp: keeps granules un-elidable
   const auto top = b.loopBegin(21, rounds);
   b.compute(computeCycles);
+  b.store(22, 23, 0);
+  b.addi(22, 22, kGranule);
   b.syscall(sysNum(kernel::Sys::kCkptSave));
   b.loopEnd(21, top);
   b.li(vm::kArg0, 0);
@@ -157,7 +175,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
   }
-  const int rounds = quick ? 12 : 40;
+  const int rounds = quick ? 16 : 40;
   const std::uint64_t computeCycles = 20'000;
   const std::int64_t reps1 = quick ? 120 : 400;
   const std::int64_t reps2 = quick ? 30 : 100;
@@ -187,7 +205,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(p99),
               static_cast<unsigned long long>(st.max),
               static_cast<unsigned long long>(st.n));
-  std::printf("image size: %llu bytes\n",
+  std::printf("image size (final commit): %llu bytes\n",
               static_cast<unsigned long long>(commit.imageBytes));
   const std::uint64_t saved = resume.scratchCycles - resume.resumedCycles;
   std::printf("requeue: scratch %llu cycles, resumed %llu cycles -> "

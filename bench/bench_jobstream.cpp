@@ -5,6 +5,10 @@
 // through drain/retry/reboot. With --crashes N the service node itself
 // fail-stops N times at seeded cycles and restarts from its
 // persistent-memory checkpoint (--restart-delay sets the outage).
+// --link-deaths / --link-storms arm the torus hard-fault plane:
+// seeded directed-link fail-stops and CRC-retry storms, with
+// RAS-driven checkpoint-then-migrate enabled and the migration /
+// route-around counters reported (and emitted in --json).
 // Reports jobs/sec, queue wait, node utilization, RAS counts, and
 // failover counters; --json writes them machine-readably.
 //
@@ -44,6 +48,9 @@ struct StreamParams {
   int coreHangs = 0;                   // frozen cores (watchdog bait)
   sim::Cycle hangTimeout = 400'000;    // watchdog freeze threshold
   std::uint32_t budget = 0;            // per-node failure budget (0 = off)
+  // Torus hard-fault plane (seeded; arming it enables migration).
+  int linkDeaths = 0;                  // fail-stopped directed links
+  int linkStorms = 0;                  // CRC-retry storms (degraded links)
   std::string rasLogPath;              // dump the aggregated RAS stream
 };
 
@@ -87,6 +94,12 @@ StreamResult runStream(const StreamParams& p) {
   if (p.coreHangs > 0) scfg.hangTimeoutCycles = p.hangTimeout;
   if (p.ceStorms > 0) scfg.ras.warnDrainThreshold = 8;
   scfg.nodeFailureBudget = p.budget;
+  // Link faults arm checkpoint-then-migrate and the CRC-storm
+  // predictor; the zero-fault stream keeps its pinned schedule.
+  if (p.linkDeaths > 0 || p.linkStorms > 0) {
+    scfg.migrate.enabled = true;
+    scfg.ras.linkSickThreshold = 6;
+  }
   svc::ServiceHost host(cluster, scfg);
 
   // Seeded job mix: width 1-3, ~1/4 FWK, work 100K-600K cycles.
@@ -134,7 +147,8 @@ StreamResult runStream(const StreamParams& p) {
   // random numbers.
   const testing::FaultSchedule faults = testing::FaultSchedule::random(
       p.seed, p.nodes, lastArrival + 2'000'000, 0, 0, 0, 0, 1, p.memUes,
-      p.ceStorms, p.coreHangs);
+      p.ceStorms, p.coreHangs, /*ckptIoCrashes=*/0, /*ckptUes=*/0,
+      /*ckptSvcCrashes=*/0, p.linkDeaths, p.linkStorms);
   faults.arm(cluster, host);
 
   host.start();
@@ -196,7 +210,7 @@ sim::Json ioCountersJson(const StreamResult& r) {
 }
 
 void printMetrics(const char* title, const StreamResult& res,
-                  bool showFaultPlane) {
+                  bool showFaultPlane, bool showLinkPlane) {
   const svc::SvcMetrics& m = res.metrics;
   std::printf("\n%s\n", title);
   bg::bench::printRule();
@@ -251,6 +265,23 @@ void printMetrics(const char* title, const StreamResult& res,
                 m.meanRequeueCycles,
                 static_cast<unsigned long long>(m.requeueSamples));
   }
+  if (showLinkPlane) {
+    std::printf("link plane: %llu migrations (%llu requests, "
+                "%llu fallbacks), %llu degraded jobs, %llu sick nodes, "
+                "%llu cycles saved vs scratch\n",
+                static_cast<unsigned long long>(m.migrations),
+                static_cast<unsigned long long>(m.migrateRequests),
+                static_cast<unsigned long long>(m.migrateFallbacks),
+                static_cast<unsigned long long>(m.degradedJobs),
+                static_cast<unsigned long long>(m.linkSickNodes),
+                static_cast<unsigned long long>(m.migrateCyclesSaved));
+    std::printf("route-around: %llu detours (+%llu hops), "
+                "%llu unroutable, %llu CRC retries\n",
+                static_cast<unsigned long long>(m.linkDetours),
+                static_cast<unsigned long long>(m.linkDetourHops),
+                static_cast<unsigned long long>(m.linkUnroutable),
+                static_cast<unsigned long long>(m.linkCrcRetries));
+  }
   std::printf("schedule hash: %016llx\n",
               static_cast<unsigned long long>(m.scheduleHash));
 }
@@ -283,6 +314,10 @@ int main(int argc, char** argv) {
       p.hangTimeout = static_cast<sim::Cycle>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       p.budget = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--link-deaths") == 0 && i + 1 < argc) {
+      p.linkDeaths = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--link-storms") == 0 && i + 1 < argc) {
+      p.linkStorms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--ras-log") == 0 && i + 1 < argc) {
       p.rasLogPath = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -291,6 +326,7 @@ int main(int argc, char** argv) {
   }
   const bool computeFaults =
       p.memUes > 0 || p.ceStorms > 0 || p.coreHangs > 0;
+  const bool linkFaults = p.linkDeaths > 0 || p.linkStorms > 0;
 
   std::printf("job-stream benchmark: %d jobs, %d nodes (%d FWK), "
               "policy=%s, node %d dies at cycle %llu, seed=%llu, "
@@ -306,13 +342,18 @@ int main(int argc, char** argv) {
                 p.memUes, p.ceStorms, p.coreHangs,
                 static_cast<unsigned long long>(p.hangTimeout), p.budget);
   }
+  if (linkFaults) {
+    std::printf("link faults: %d link deaths, %d CRC storms "
+                "(migration armed, storm threshold 6)\n",
+                p.linkDeaths, p.linkStorms);
+  }
 
   const StreamResult run1 = runStream(p);
   if (!run1.drained) {
     std::fprintf(stderr, "stream did not drain\n");
     return 1;
   }
-  printMetrics("run 1", run1, computeFaults);
+  printMetrics("run 1", run1, computeFaults, linkFaults);
 
   // Determinism witness: replay the identical stream.
   const StreamResult run2 = runStream(p);
@@ -338,6 +379,8 @@ int main(int argc, char** argv) {
     fi.set("core_hangs", static_cast<std::int64_t>(p.coreHangs));
     fi.set("hang_timeout", p.hangTimeout);
     fi.set("failure_budget", static_cast<std::int64_t>(p.budget));
+    fi.set("link_deaths", static_cast<std::int64_t>(p.linkDeaths));
+    fi.set("link_storms", static_cast<std::int64_t>(p.linkStorms));
     j.set("fault_injection", std::move(fi));
     j.set("metrics", run1.metrics.toJson());
     j.set("io", ioCountersJson(run1));

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -40,6 +41,9 @@ struct LinkFaultStats {
   std::uint64_t corrupted = 0;
   std::uint64_t delayed = 0;
   std::uint64_t duplicated = 0;
+  /// CRC retransmit rounds charged on degraded links (hard-fault
+  /// plane; see markDegraded below).
+  std::uint64_t crcRetries = 0;
 };
 
 /// One fault decision for a packet about to traverse a link.
@@ -88,6 +92,55 @@ class LinkFaultModel {
 
   const LinkFaultStats& stats() const { return stats_; }
 
+  // --- hard directed-link faults (fail-stop + degraded) --------------
+  //
+  // Unlike the probabilistic per-packet rates above, these are state:
+  // a dead link carries no traffic at all until the machine is rebuilt
+  // (the torus routes around it deterministically), and a degraded
+  // link pays a fixed CRC-retry-storm penalty on every traversal. No
+  // RNG is involved, so arming them changes only the links they name.
+
+  /// Fail-stop a directed link. Returns false when it was already
+  /// dead. Dead links are permanent for the life of the model.
+  bool markDead(std::uint64_t linkKey) {
+    return dead_.insert(linkKey).second;
+  }
+  bool isDead(std::uint64_t linkKey) const {
+    return dead_.count(linkKey) != 0;
+  }
+  bool anyDead() const { return !dead_.empty(); }
+  const std::set<std::uint64_t>& deadLinks() const { return dead_; }
+
+  /// Degrade a directed link: every traversal is charged `retries`
+  /// CRC retransmit rounds (re-serialization + NACK turnaround — a
+  /// retry storm, not a loss). retries <= 0 heals the link.
+  void markDegraded(std::uint64_t linkKey, int retries) {
+    if (retries <= 0) {
+      degraded_.erase(linkKey);
+    } else {
+      degraded_[linkKey] = retries;
+    }
+  }
+  int degradeOf(std::uint64_t linkKey) const {
+    auto it = degraded_.find(linkKey);
+    return it == degraded_.end() ? 0 : it->second;
+  }
+  bool anyDegraded() const { return !degraded_.empty(); }
+
+  /// Charge `retries` retransmit rounds against `linkKey` (the torus
+  /// calls this per traversal of a degraded link).
+  void chargeRetries(std::uint64_t linkKey, int retries) {
+    stats_.crcRetries += static_cast<std::uint64_t>(retries);
+    retriesByLink_[linkKey] += static_cast<std::uint64_t>(retries);
+  }
+  std::uint64_t retriesOn(std::uint64_t linkKey) const {
+    auto it = retriesByLink_.find(linkKey);
+    return it == retriesByLink_.end() ? 0 : it->second;
+  }
+  const std::map<std::uint64_t, std::uint64_t>& retriesByLink() const {
+    return retriesByLink_;
+  }
+
   /// Raw generator steps taken so far. The zero-RNG-when-clean witness:
   /// a run with all rates zero must leave this at exactly 0.
   std::uint64_t rngDraws() const { return rng_.draws(); }
@@ -97,6 +150,9 @@ class LinkFaultModel {
   LinkFaultRates defaults_;
   std::map<std::uint64_t, LinkFaultRates> perLink_;
   LinkFaultStats stats_;
+  std::set<std::uint64_t> dead_;             // fail-stopped directed links
+  std::map<std::uint64_t, int> degraded_;    // linkKey -> retries/traversal
+  std::map<std::uint64_t, std::uint64_t> retriesByLink_;
 };
 
 }  // namespace bg::hw

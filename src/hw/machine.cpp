@@ -35,7 +35,10 @@ Machine::Machine(const MachineConfig& cfg)
       collFaults_(cfg_.seed, "collective-faults"),
       torusFaults_(cfg_.seed, "torus-faults"),
       memFaults_(cfg_.seed, "mem-faults") {
-  if (cfg_.hostLanes > 1 && !cfg_.memFaults.enabled()) {
+  // Per-node fault streams (seed ^ nodeId) and stats slots, created
+  // serially up front so parallel lanes never mutate shared state.
+  memFaults_.attachNodes(cfg_.computeNodes);
+  if (cfg_.hostLanes > 1) {
     // One lane per node (compute, I/O, spares); lane tags are a pure
     // function of node ids, so the schedule cannot depend on which
     // host thread runs which lane.

@@ -45,10 +45,9 @@ struct MachineConfig {
   /// lane mode). 1 = the plain single-threaded engine, bit-exact with
   /// every prior release. N>1 splits the event stream into one lane
   /// per node; the merged schedule is identical at any thread count.
-  /// Ignored (forced plain) when memFaults rates are non-zero: the
-  /// per-access fault RNG is a shared stream that per-lane execution
-  /// would race on. Tests that raise rates later via the setters must
-  /// run with hostLanes = 1.
+  /// Compatible with memFaults: each node judges against its own RNG
+  /// stream (seed ^ nodeId) and stats slot, so per-lane execution
+  /// never races on the fault model.
   int hostLanes = 1;
   /// Conservative lane lookahead in cycles; 0 derives it from the
   /// cheapest cross-node interaction that merges at the window barrier

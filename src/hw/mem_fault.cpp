@@ -3,19 +3,22 @@
 namespace bg::hw {
 
 // Each judge draws at most once per enabled fault class, in a fixed
-// order, so the stream advances identically for identical traffic.
+// order, from the judged node's own stream, so a node's stream
+// advances identically for identical traffic on that node — whatever
+// the rest of the machine does, and whichever host lane runs it.
 // A zero rate draws nothing at all — the `> 0.0` guards are the
 // zero-RNG-when-clean contract, not an optimization.
 
 EccOutcome MemFaultModel::judgeDdr(int node) {
   const MemFaultRates& r = ratesFor(node);
   if (!r.eccEnabled()) return EccOutcome::kNone;
-  if (r.ueRate > 0.0 && rng_.nextDouble() < r.ueRate) {
-    ++stats_.uncorrectable;
+  sim::Rng& rng = rngFor(node);
+  if (r.ueRate > 0.0 && rng.nextDouble() < r.ueRate) {
+    ++statsAt(node).uncorrectable;
     return EccOutcome::kUncorrectable;
   }
-  if (r.ceRate > 0.0 && rng_.nextDouble() < r.ceRate) {
-    ++stats_.correctable;
+  if (r.ceRate > 0.0 && rng.nextDouble() < r.ceRate) {
+    ++statsAt(node).correctable;
     return EccOutcome::kCorrectable;
   }
   return EccOutcome::kNone;
@@ -24,8 +27,8 @@ EccOutcome MemFaultModel::judgeDdr(int node) {
 bool MemFaultModel::judgeParity(int node) {
   const MemFaultRates& r = ratesFor(node);
   if (!r.parityEnabled()) return false;
-  if (rng_.nextDouble() < r.parityRate) {
-    ++stats_.parityFlips;
+  if (rngFor(node).nextDouble() < r.parityRate) {
+    ++statsAt(node).parityFlips;
     return true;
   }
   return false;
@@ -35,13 +38,14 @@ SliceFaultOutcome MemFaultModel::judgeSlice(int node) {
   SliceFaultOutcome out;
   const MemFaultRates& r = ratesFor(node);
   if (!r.sliceEnabled()) return out;
-  if (r.hangRate > 0.0 && rng_.nextDouble() < r.hangRate) {
-    ++stats_.coreHangs;
+  sim::Rng& rng = rngFor(node);
+  if (r.hangRate > 0.0 && rng.nextDouble() < r.hangRate) {
+    ++statsAt(node).coreHangs;
     out.hang = true;
     return out;  // a hung core takes no further faults this slice
   }
-  if (r.spuriousMcRate > 0.0 && rng_.nextDouble() < r.spuriousMcRate) {
-    ++stats_.spuriousMcs;
+  if (r.spuriousMcRate > 0.0 && rng.nextDouble() < r.spuriousMcRate) {
+    ++statsAt(node).spuriousMcs;
     out.spuriousMc = true;
   }
   return out;

@@ -10,14 +10,18 @@
 // judge helpers return immediately without touching the generator, so
 // a fault-free run is bit-identical to a build without the model.
 //
-// All draws come from one named stream (`Rng(seed, "mem-faults")`)
-// owned by the Machine, and judging happens at deterministic points
-// in the simulation (DDR accesses, L1 line fills, slice starts), so
-// the same seed yields the same fault pattern on every run.
+// Each node draws from its own named stream (`Rng(seed ^ nodeId,
+// "mem-faults")`) created up front by the Machine, and judging happens
+// at deterministic points in the simulation (DDR accesses, L1 line
+// fills, slice starts), so the same seed yields the same fault pattern
+// on every run — and, because streams and their counters are strictly
+// per node, judging is safe from parallel per-node event lanes.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/rng.hpp"
 
@@ -61,7 +65,21 @@ struct SliceFaultOutcome {
 class MemFaultModel {
  public:
   MemFaultModel(std::uint64_t seed, std::string_view component)
-      : rng_(seed, component) {}
+      : seed_(seed), component_(component) {}
+
+  /// Create the per-node RNG streams (seed ^ nodeId) and per-node
+  /// stats slots. Must be called once, before any judging, from a
+  /// single thread — the Machine does this at construction so lanes
+  /// never mutate shared state.
+  void attachNodes(int count) {
+    rngs_.reserve(static_cast<std::size_t>(count));
+    for (int n = static_cast<int>(rngs_.size()); n < count; ++n) {
+      rngs_.emplace_back(seed_ ^ static_cast<std::uint64_t>(n),
+                         component_);
+    }
+    stats_.resize(static_cast<std::size_t>(count));
+  }
+  int attachedNodes() const { return static_cast<int>(rngs_.size()); }
 
   /// Rates applied to nodes without a per-node override.
   void setDefaultRates(const MemFaultRates& r) { defaults_ = r; }
@@ -94,18 +112,47 @@ class MemFaultModel {
   /// node's slice rates are zero.
   SliceFaultOutcome judgeSlice(int node);
 
-  const MemFaultStats& stats() const { return stats_; }
+  /// Aggregated across nodes (cheap: the fleet is small).
+  MemFaultStats stats() const {
+    MemFaultStats total;
+    for (const MemFaultStats& s : stats_) {
+      total.correctable += s.correctable;
+      total.uncorrectable += s.uncorrectable;
+      total.parityFlips += s.parityFlips;
+      total.coreHangs += s.coreHangs;
+      total.spuriousMcs += s.spuriousMcs;
+    }
+    return total;
+  }
+  const MemFaultStats& statsFor(int node) const {
+    return stats_[static_cast<std::size_t>(node)];
+  }
 
-  /// Determinism witness: raw RNG steps consumed. Must stay zero for
-  /// a model whose rates are all zero, however much traffic it
-  /// judged.
-  std::uint64_t rngDraws() const { return rng_.draws(); }
+  /// Determinism witness: raw RNG steps consumed, summed over every
+  /// node's stream. Must stay zero for a model whose rates are all
+  /// zero, however much traffic it judged.
+  std::uint64_t rngDraws() const {
+    std::uint64_t total = 0;
+    for (const sim::Rng& r : rngs_) total += r.draws();
+    return total;
+  }
+  /// Per-node draw-count witness (one stream per node).
+  std::uint64_t rngDraws(int node) const {
+    return rngs_[static_cast<std::size_t>(node)].draws();
+  }
 
  private:
-  sim::Rng rng_;
+  sim::Rng& rngFor(int node) { return rngs_[static_cast<std::size_t>(node)]; }
+  MemFaultStats& statsAt(int node) {
+    return stats_[static_cast<std::size_t>(node)];
+  }
+
+  std::uint64_t seed_;
+  std::string component_;
+  std::vector<sim::Rng> rngs_;          // one stream per node
   MemFaultRates defaults_;
   std::unordered_map<int, MemFaultRates> perNode_;
-  MemFaultStats stats_;
+  std::vector<MemFaultStats> stats_;    // one slot per node (lane-safe)
 };
 
 }  // namespace bg::hw

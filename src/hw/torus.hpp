@@ -83,6 +83,48 @@ class TorusNet {
   void setFaultModel(LinkFaultModel* m) { faults_ = m; }
   LinkFaultModel* faultModel() const { return faults_; }
 
+  // --- hard directed-link faults + deterministic route-around --------
+
+  /// Fired when a directed link hard-faults: killLink reports
+  /// dead = true, degradeLink dead = false. The cluster harness wires
+  /// this to the source node's kernel RAS log (kLinkDead /
+  /// kLinkDegraded) so the control plane can react.
+  using LinkEventHandler =
+      std::function<void(int srcNode, int dim, bool positive, bool dead)>;
+  void setLinkEventHandler(LinkEventHandler h) {
+    linkEvent_ = std::move(h);
+  }
+
+  /// Fail-stop the directed link leaving `nodeId` in `dim` towards
+  /// `positive`. Routing recomputes a deterministic detour table (BFS
+  /// shortest path over the healthy directed-link graph, fixed
+  /// neighbor order, so the same fault set always yields the same
+  /// routes). Returns false for a nonexistent link (bad dim, a
+  /// size-1 ring) or one that is already dead.
+  bool killLink(int nodeId, int dim, bool positive);
+
+  /// Degrade the directed link: every traversal pays `retries` CRC
+  /// retransmit rounds (re-serialization + NACK turnaround each), and
+  /// the retries are charged to the fault model's per-link counters.
+  /// retries <= 0 heals the link. Returns false for a nonexistent
+  /// link.
+  bool degradeLink(int nodeId, int dim, bool positive, int retries);
+
+  bool linkDead(int nodeId, int dim, bool positive) const;
+
+  /// Transfers that left the minimal dimension-order route because a
+  /// dead link forced a detour, and the extra hops they paid.
+  std::uint64_t detours() const { return detours_; }
+  std::uint64_t detourHops() const { return detourHops_; }
+  /// Transfers dropped because no healthy route reached the
+  /// destination (the packet vanishes; DMA local completion still
+  /// fires so injection FIFOs drain).
+  std::uint64_t unroutable() const { return unroutable_; }
+
+  /// Fault-aware hop count: with no dead links this is the minimal
+  /// wraparound distance; with dead links it is the length of the
+  /// detour route actually taken, or -1 when `b` is unreachable
+  /// from `a`.
   int hops(int a, int b) const;
   const TorusConfig& config() const { return cfg_; }
   sim::Engine& engine() { return engine_; }
@@ -104,8 +146,28 @@ class TorusNet {
   void dmaGetNow(int srcNode, PAddr localPa, int dstNode, PAddr remotePa,
                  std::uint64_t bytes, std::function<void()>&& onComplete);
 
+  /// reserveRoute's arrive value for an unreachable destination.
+  static constexpr sim::Cycle kUnreachable = static_cast<sim::Cycle>(-1);
+
   std::array<int, 3> coordsOf(int nodeId) const;
+  int nodeIdOf(const std::array<int, 3>& c) const {
+    return c[0] + cfg_.dims[0] * (c[1] + cfg_.dims[1] * c[2]);
+  }
+  /// One traversed directed link on a detour route.
+  struct Hop {
+    int node;
+    int dim;
+    bool positive;
+  };
+  int neighborOf(int nodeId, int dim, bool positive) const;
+  /// Deterministic detour route over the healthy directed-link graph
+  /// (BFS shortest path, fixed neighbor order), cached per (src, dst)
+  /// and invalidated on link death. nullptr = unreachable.
+  const std::vector<Hop>* routeFor(int src, int dst) const;
+  /// Minimal wraparound distance, ignoring link health.
+  int minimalHops(int a, int b) const;
   /// Reserve the dimension-order route; returns (start, arrive) cycles.
+  /// arrive == kUnreachable when every healthy route to dst is gone.
   std::pair<sim::Cycle, sim::Cycle> reserveRoute(int src, int dst,
                                                  std::uint64_t bytes);
   /// Extra cycles the link layer spends recovering from injected
@@ -115,11 +177,18 @@ class TorusNet {
   sim::Engine& engine_;
   TorusConfig cfg_;
   LinkFaultModel* faults_ = nullptr;
+  LinkEventHandler linkEvent_;
   std::unordered_map<int, Node*> nodes_;
   std::unordered_map<int, PacketHandler> handlers_;
   // Directed link key: (nodeId << 3) | (dim << 1) | direction.
   std::unordered_map<std::uint64_t, sim::Cycle> linkBusyUntil_;
+  // (src << 32) | dst -> detour route; entries absent until first use,
+  // empty vector = cached "unreachable". Cleared on every killLink.
+  mutable std::map<std::uint64_t, std::vector<Hop>> routeCache_;
   std::uint64_t bytesMoved_ = 0;
+  std::uint64_t detours_ = 0;
+  std::uint64_t detourHops_ = 0;
+  std::uint64_t unroutable_ = 0;
 };
 
 }  // namespace bg::hw

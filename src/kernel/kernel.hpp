@@ -57,6 +57,13 @@ struct RasEvent {
     kCkptRestore,       // job state rebuilt from a committed image
     kCkptFailed,        // cut/ship/restore failed; previous image or
                         // scratch restart remains the truth
+    // Torus hard-fault plane (hw::TorusNet link health).
+    kLinkDead,          // directed torus link fail-stopped; routed around
+    kLinkDegraded,      // CRC-retry storm on a directed torus link
+    // RAS-driven proactive checkpoint-migrate (svc link predictor).
+    kCkptMigrateBegin,     // migration window opened on a sick node
+    kCkptMigrateDone,      // victim checkpointed + requeued to resume
+    kCkptMigrateFallback,  // window failed; job stays in degraded mode
   };
   /// How the control system should react (src/svc aggregates on this):
   /// kInfo is bookkeeping, kWarn is recoverable (L1 parity scrubbed),
@@ -84,11 +91,16 @@ constexpr RasEvent::Severity defaultRasSeverity(RasEvent::Code c) {
     case RasEvent::Code::kCkptCommit:
     case RasEvent::Code::kCkptRestore:
       return RasEvent::Severity::kInfo;
+    case RasEvent::Code::kCkptMigrateBegin:
+    case RasEvent::Code::kCkptMigrateDone:
+      return RasEvent::Severity::kInfo;
     case RasEvent::Code::kIoTimeout:
     case RasEvent::Code::kEccCorrectable:
     case RasEvent::Code::kClientRejected:
     case RasEvent::Code::kQuotaRejected:
     case RasEvent::Code::kCkptFailed:
+    case RasEvent::Code::kLinkDegraded:
+    case RasEvent::Code::kCkptMigrateFallback:
       return RasEvent::Severity::kWarn;
     case RasEvent::Code::kNodeFailure:
     case RasEvent::Code::kEccUncorrectable:
@@ -121,12 +133,18 @@ constexpr const char* rasCodeName(RasEvent::Code c) {
     case RasEvent::Code::kCkptCommit: return "ckpt_commit";
     case RasEvent::Code::kCkptRestore: return "ckpt_restore";
     case RasEvent::Code::kCkptFailed: return "ckpt_failed";
+    case RasEvent::Code::kLinkDead: return "link_dead";
+    case RasEvent::Code::kLinkDegraded: return "link_degraded";
+    case RasEvent::Code::kCkptMigrateBegin: return "ckpt_migrate_begin";
+    case RasEvent::Code::kCkptMigrateDone: return "ckpt_migrate_done";
+    case RasEvent::Code::kCkptMigrateFallback:
+      return "ckpt_migrate_fallback";
   }
   return "?";
 }
 
 /// Number of RasEvent::Code values (array sizing in src/svc).
-inline constexpr std::size_t kNumRasCodes = 19;
+inline constexpr std::size_t kNumRasCodes = 24;
 
 class KernelBase : public hw::KernelIf {
  public:

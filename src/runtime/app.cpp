@@ -61,6 +61,25 @@ Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
     dispatchers_.push_back(std::make_unique<Dispatcher>(node));
   }
 
+  // Torus hard faults surface as RAS events on the link's source
+  // node's kernel, the way BG's link CRC monitors fed the RAS stream:
+  // the control plane (src/svc) learns about fabric health from the
+  // same aggregated log it already polls. The handler only fires on
+  // explicit killLink/degradeLink calls, so fault-free schedules are
+  // untouched. detail packs the directed link: (dim << 1) | positive.
+  machine_->torus().setLinkEventHandler(
+      [this](int srcNode, int dim, bool positive, bool dead) {
+        if (srcNode < 0 ||
+            srcNode >= static_cast<int>(kernels_.size())) {
+          return;
+        }
+        kernels_[static_cast<std::size_t>(srcNode)]->logRas(
+            dead ? kernel::RasEvent::Code::kLinkDead
+                 : kernel::RasEvent::Code::kLinkDegraded,
+            /*pid=*/0, /*tid=*/0,
+            (static_cast<std::uint64_t>(dim) << 1) | (positive ? 1u : 0u));
+      });
+
   // Messaging stack.
   dcmf_ = std::make_unique<msg::Dcmf>(world_, machine_->torus(), cfg_.dcmf);
   mpi_ = std::make_unique<msg::Mpi>(world_, *dcmf_, machine_->collective(),

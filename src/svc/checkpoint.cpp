@@ -97,6 +97,16 @@ void SvcCheckpoint::encode(sim::ByteWriter& w, std::uint32_t version) const {
     w.u64(ckptFallbacks);
     w.u64(ckptResumes);
   }
+  if (version >= 6) {
+    w.u64(migrateRequests);
+    w.u64(migrateCommits);
+    w.u64(migrateFallbacks);
+    w.u64(migrations);
+    w.u64(degradedJobs);
+    w.u64(migrateCyclesSaved);
+    w.u64(sickNodes.size());
+    for (int n : sickNodes) w.u32(static_cast<std::uint32_t>(n));
+  }
   w.u64(firstSubmit);
   w.u64(lastEnd);
   w.u64(pumpDue);
@@ -124,7 +134,7 @@ void SvcCheckpoint::encode(sim::ByteWriter& w, std::uint32_t version) const {
 
 bool SvcCheckpoint::decode(sim::ByteReader& r) {
   const std::uint32_t ver = r.u32();
-  if (ver != 4 && ver != kVersion) return false;
+  if (ver != 4 && ver != 5 && ver != kVersion) return false;
   takenAt = r.u64();
   scheduleHash = r.u64();
   nextId = r.u32();
@@ -142,6 +152,18 @@ bool SvcCheckpoint::decode(sim::ByteReader& r) {
     ckptCommits = r.u64();
     ckptFallbacks = r.u64();
     ckptResumes = r.u64();
+  }
+  if (ver >= 6) {
+    migrateRequests = r.u64();
+    migrateCommits = r.u64();
+    migrateFallbacks = r.u64();
+    migrations = r.u64();
+    degradedJobs = r.u64();
+    migrateCyclesSaved = r.u64();
+    const std::uint64_t ns = r.u64();
+    for (std::uint64_t i = 0; i < ns && r.ok(); ++i) {
+      sickNodes.push_back(static_cast<int>(r.u32()));
+    }
   }
   firstSubmit = r.u64();
   lastEnd = r.u64();

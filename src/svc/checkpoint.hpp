@@ -49,7 +49,14 @@ struct SvcCheckpoint {
   // widen the tally arrays from 15 to 19 entries. decode() still
   // accepts v4 (new fields default to zero) so an upgrade across a
   // warm restart never cold-starts the control plane.
-  static constexpr std::uint32_t kVersion = 5;
+  // v6: torus hard-fault plane — the header appends the six
+  // checkpoint-migrate counters and the link-sick node set (nodes the
+  // RAS link-health predictor flagged; allocation keeps avoiding them
+  // after a control-plane restart), and five RAS codes
+  // (kLinkDead/kLinkDegraded/kCkptMigrate*) widen the tally arrays
+  // from 19 to 24 entries. decode() still accepts v4 and v5 images
+  // (new fields default to zero / empty).
+  static constexpr std::uint32_t kVersion = 6;
 
   struct JobEntry {
     JobRecord rec;  // rec.desc.exe / rec.desc.libs left empty
@@ -77,6 +84,15 @@ struct SvcCheckpoint {
   std::uint64_t ckptCommits = 0;    // requests every node committed
   std::uint64_t ckptFallbacks = 0;  // deadline/fault -> scratch requeue
   std::uint64_t ckptResumes = 0;    // launches booted into restore
+  /// Checkpoint-then-migrate accounting (v6).
+  std::uint64_t migrateRequests = 0;   // link-sick escalations that asked
+  std::uint64_t migrateCommits = 0;    // requests every node committed
+  std::uint64_t migrateFallbacks = 0;  // window failed -> job stays put
+  std::uint64_t migrations = 0;        // jobs requeued onto healthy nodes
+  std::uint64_t degradedJobs = 0;      // left running in route-around mode
+  std::uint64_t migrateCyclesSaved = 0;  // progress preserved vs scratch
+  /// Nodes the link-health predictor declared link-sick (v6).
+  std::vector<int> sickNodes;
   sim::Cycle firstSubmit = 0;
   sim::Cycle lastEnd = 0;
   /// Absolute cycle the next control-loop pump was scheduled for;
@@ -93,8 +109,8 @@ struct SvcCheckpoint {
   /// `version` exists for tests exercising the upgrade path; real
   /// callers always write the current layout.
   void encode(sim::ByteWriter& w, std::uint32_t version = kVersion) const;
-  /// Returns false on version mismatch or truncation. Accepts v4
-  /// images (pre-ckpt layout; the new fields decode as zero).
+  /// Returns false on version mismatch or truncation. Accepts v4 and
+  /// v5 images (older layouts; the new fields decode as zero).
   bool decode(sim::ByteReader& r);
 };
 

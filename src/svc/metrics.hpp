@@ -90,6 +90,20 @@ struct SvcMetrics {
   std::uint64_t ckptFallbacks = 0;  // deadline/fault -> scratch requeue
   std::uint64_t ckptResumes = 0;    // launches booted into restore
 
+  // Torus hard-fault plane: RAS-driven checkpoint-migrate and the
+  // fabric's deterministic route-around.
+  std::uint64_t migrateRequests = 0;   // link-sick escalations that asked
+  std::uint64_t migrateCommits = 0;    // requests every node committed
+  std::uint64_t migrateFallbacks = 0;  // window failed -> job stays put
+  std::uint64_t migrations = 0;        // jobs requeued onto healthy nodes
+  std::uint64_t degradedJobs = 0;      // left running in route-around mode
+  std::uint64_t migrateCyclesSaved = 0;  // progress preserved vs scratch
+  std::uint64_t linkSickNodes = 0;     // nodes flagged by the predictor
+  std::uint64_t linkDetours = 0;       // transfers routed around a death
+  std::uint64_t linkDetourHops = 0;    // extra hops beyond minimal routes
+  std::uint64_t linkUnroutable = 0;    // transfers with no surviving path
+  std::uint64_t linkCrcRetries = 0;    // retransmit rounds on degraded links
+
   // Control-plane failover (filled by ServiceHost).
   std::uint64_t serviceCrashes = 0;
   std::uint64_t serviceRestarts = 0;
@@ -162,6 +176,19 @@ struct SvcMetrics {
     ck.set("fallbacks", ckptFallbacks);
     ck.set("resumes", ckptResumes);
     j.set("ckpt", std::move(ck));
+    sim::Json mig = sim::Json::object();
+    mig.set("requests", migrateRequests);
+    mig.set("commits", migrateCommits);
+    mig.set("fallbacks", migrateFallbacks);
+    mig.set("migrations", migrations);
+    mig.set("degraded_jobs", degradedJobs);
+    mig.set("cycles_saved", migrateCyclesSaved);
+    mig.set("link_sick_nodes", linkSickNodes);
+    mig.set("detours", linkDetours);
+    mig.set("detour_hops", linkDetourHops);
+    mig.set("unroutable", linkUnroutable);
+    mig.set("crc_retries", linkCrcRetries);
+    j.set("migration", std::move(mig));
     if (!accounts.empty()) {
       sim::Json fs = sim::Json::object();
       fs.set("preemptions", preemptions);

@@ -78,6 +78,20 @@ int PartitionManager::readyCount(rt::KernelKind k) const {
 
 std::vector<int> PartitionManager::allocate(int count,
                                             rt::KernelKind k) const {
+  return allocateImpl(count, k, nullptr);
+}
+
+std::vector<int> PartitionManager::allocate(int count, rt::KernelKind k,
+                                            const std::set<int>& avoid) const {
+  if (!avoid.empty()) {
+    std::vector<int> healthy = allocateImpl(count, k, &avoid);
+    if (!healthy.empty()) return healthy;
+  }
+  return allocateImpl(count, k, nullptr);
+}
+
+std::vector<int> PartitionManager::allocateImpl(
+    int count, rt::KernelKind k, const std::set<int>* avoid) const {
   if (count <= 0) return {};
   const int n = size();
   // Smallest contiguous run of eligible nodes that fits.
@@ -87,7 +101,8 @@ std::vector<int> PartitionManager::allocate(int count,
   for (int i = 0; i <= n; ++i) {
     const bool eligible = i < n &&
                           nodes_[idx(i)].state == NodeLifecycle::kReady &&
-                          nodes_[idx(i)].kernel == k;
+                          nodes_[idx(i)].kernel == k &&
+                          (avoid == nullptr || avoid->count(i) == 0);
     if (eligible) {
       if (runStart < 0) runStart = i;
     } else if (runStart >= 0) {
@@ -107,7 +122,8 @@ std::vector<int> PartitionManager::allocate(int count,
   // Fragmented machine: scattered lowest-id fallback.
   for (int i = 0; i < n && static_cast<int>(out.size()) < count; ++i) {
     if (nodes_[idx(i)].state == NodeLifecycle::kReady &&
-        nodes_[idx(i)].kernel == k) {
+        nodes_[idx(i)].kernel == k &&
+        (avoid == nullptr || avoid->count(i) == 0)) {
       out.push_back(i);
     }
   }

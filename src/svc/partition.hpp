@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "runtime/app.hpp"
@@ -69,6 +70,14 @@ class PartitionManager {
   /// Nodes stay kReady until markRunning().
   std::vector<int> allocate(int count, rt::KernelKind k) const;
 
+  /// Healthy-preferred allocation: try first with every node in
+  /// `avoid` (e.g. the link-sick set) ineligible; when that cannot be
+  /// satisfied, fall back to the unrestricted allocator — a sick node
+  /// is a last resort, not a hard loss of capacity. With an empty
+  /// avoid set this is bit-identical to plain allocate().
+  std::vector<int> allocate(int count, rt::KernelKind k,
+                            const std::set<int>& avoid) const;
+
   /// Flat per-node state for the service-node checkpoint: everything
   /// needed to rebuild this manager after a control-plane crash. The
   /// kernel kind is carried for validation only — a restore into a
@@ -104,6 +113,8 @@ class PartitionManager {
 
   static std::size_t idx(int n) { return static_cast<std::size_t>(n); }
   void closeBusy(int n, sim::Cycle now);
+  std::vector<int> allocateImpl(int count, rt::KernelKind k,
+                                const std::set<int>* avoid) const;
 
   std::vector<NodeInfo> nodes_;
 };

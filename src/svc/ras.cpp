@@ -5,7 +5,7 @@ namespace bg::svc {
 RasAggregator::RasAggregator(RasAggregatorConfig cfg) : cfg_(cfg) {}
 
 void RasAggregator::attach(int node, kernel::KernelBase* k) {
-  sources_.push_back(Source{node, k, k->rasNextSeq(), 0, {}});
+  sources_.push_back(Source{node, k, k->rasNextSeq(), 0, {}, {}});
 }
 
 void RasAggregator::injectNodeFailure(int node, std::uint64_t detail) {
@@ -59,6 +59,20 @@ void RasAggregator::noteWarn(Source& src, const kernel::RasEvent& e) {
   }
 }
 
+void RasAggregator::noteLinkWarn(Source& src, const kernel::RasEvent& e) {
+  if (cfg_.linkSickThreshold == 0) return;
+  src.linkWarnCycles.push_back(e.cycle);
+  const sim::Cycle floor =
+      e.cycle >= cfg_.linkWindowCycles ? e.cycle - cfg_.linkWindowCycles : 0;
+  while (!src.linkWarnCycles.empty() && src.linkWarnCycles.front() <= floor) {
+    src.linkWarnCycles.pop_front();
+  }
+  if (src.linkWarnCycles.size() >= cfg_.linkSickThreshold && onLinkSick_) {
+    src.linkWarnCycles.clear();  // one retry storm, one report
+    onLinkSick_(src.node, e.cycle, /*dead=*/false);
+  }
+}
+
 std::size_t RasAggregator::poll(sim::Cycle now) {
   (void)now;
   std::size_t stored = 0;
@@ -92,12 +106,27 @@ std::size_t RasAggregator::poll(sim::Cycle now) {
       if (e.code == kernel::RasEvent::Code::kIoNodeDead && onIoDead_) {
         onIoDead_(src.node, e);
       }
+      if (e.code == kernel::RasEvent::Code::kLinkDead && onLinkSick_) {
+        onLinkSick_(src.node, e.cycle, /*dead=*/true);
+      }
+      if (e.code == kernel::RasEvent::Code::kLinkDegraded) {
+        noteLinkWarn(src, e);
+      }
     }
     // Events the kernel ring dropped between polls never appear in the
     // loop above; the seq-based cursor steps over the gap and
     // dropped() reports the loss.
   }
   return stored;
+}
+
+std::uint32_t RasAggregator::linkWarnsInWindow(int node) const {
+  for (const Source& s : sources_) {
+    if (s.node == node) {
+      return static_cast<std::uint32_t>(s.linkWarnCycles.size());
+    }
+  }
+  return 0;
 }
 
 std::uint32_t RasAggregator::warnsInWindow(int node) const {
@@ -127,6 +156,8 @@ void RasAggregator::saveTo(sim::ByteWriter& w) const {
     w.u64(s.missed);
     w.u64(s.warnCycles.size());
     for (sim::Cycle c : s.warnCycles) w.u64(c);
+    w.u64(s.linkWarnCycles.size());
+    for (sim::Cycle c : s.linkWarnCycles) w.u64(c);
   }
   for (const CodeWindow& cw : windows_) {
     w.u64(cw.windowStart);
@@ -162,6 +193,11 @@ bool RasAggregator::loadFrom(sim::ByteReader& r) {
     const std::uint64_t wn = r.u64();
     for (std::uint64_t i = 0; i < wn && r.ok(); ++i) {
       s.warnCycles.push_back(r.u64());
+    }
+    s.linkWarnCycles.clear();
+    const std::uint64_t ln = r.u64();
+    for (std::uint64_t i = 0; i < ln && r.ok(); ++i) {
+      s.linkWarnCycles.push_back(r.u64());
     }
   }
   for (CodeWindow& cw : windows_) {

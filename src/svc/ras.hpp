@@ -47,6 +47,13 @@ struct RasAggregatorConfig {
   /// handler. 0 disables the watch.
   sim::Cycle warnWindowCycles = 2'000'000;
   std::uint32_t warnDrainThreshold = 0;
+  /// Link-health predictor: a node logging >= linkSickThreshold
+  /// kLinkDegraded events (CRC retry storms) within linkWindowCycles
+  /// is declared link-sick; a kLinkDead event declares it sick
+  /// immediately. 0 disables the degraded-window watch (kLinkDead
+  /// still fires the handler when one is set).
+  sim::Cycle linkWindowCycles = 2'000'000;
+  std::uint32_t linkSickThreshold = 0;
 };
 
 class RasAggregator {
@@ -78,6 +85,16 @@ class RasAggregator {
   using IoDeadHandler = std::function<void(int node, const kernel::RasEvent&)>;
   void setIoDeadHandler(IoDeadHandler f) { onIoDead_ = std::move(f); }
 
+  /// Called during poll() when a node's torus fabric goes bad: a
+  /// kLinkDead event fires it immediately (`dead` = true); kLinkDegraded
+  /// events fire it once their sliding-window count crosses
+  /// linkSickThreshold (`dead` = false). The degraded window is cleared
+  /// before the call, so one retry storm fires the handler once. The
+  /// service node reacts with proactive checkpoint-then-migrate.
+  using LinkSickHandler =
+      std::function<void(int node, sim::Cycle cycle, bool dead)>;
+  void setLinkSickHandler(LinkSickHandler f) { onLinkSick_ = std::move(f); }
+
   /// Fault injection: report a fatal kNodeFailure against `node`'s
   /// kernel; the next poll() routes it like any other fatal event.
   void injectNodeFailure(int node, std::uint64_t detail);
@@ -96,6 +113,9 @@ class RasAggregator {
   /// Forget a node's warn history (after a predictive drain + scrub
   /// the node starts clean).
   void clearWarns(int node);
+
+  /// kLinkDegraded events from `node` inside the sliding link window.
+  std::uint32_t linkWarnsInWindow(int node) const;
 
   const std::deque<SvcRasEvent>& stream() const { return stream_; }
   std::uint64_t accepted() const { return accepted_; }
@@ -127,7 +147,8 @@ class RasAggregator {
     kernel::KernelBase* kernel = nullptr;
     std::uint64_t nextSeq = 0;  // first sequence number not yet consumed
     std::uint64_t missed = 0;   // seqs evicted before we consumed them
-    std::deque<sim::Cycle> warnCycles;  // recent kWarn timestamps
+    std::deque<sim::Cycle> warnCycles;      // recent kWarn timestamps
+    std::deque<sim::Cycle> linkWarnCycles;  // recent kLinkDegraded stamps
   };
   struct CodeWindow {
     sim::Cycle windowStart = 0;
@@ -141,6 +162,7 @@ class RasAggregator {
 
   bool admit(const kernel::RasEvent& e);
   void noteWarn(Source& src, const kernel::RasEvent& e);
+  void noteLinkWarn(Source& src, const kernel::RasEvent& e);
 
   RasAggregatorConfig cfg_;
   std::vector<Source> sources_;
@@ -154,6 +176,7 @@ class RasAggregator {
   FatalHandler onFatal_;
   WarnStormHandler onWarnStorm_;
   IoDeadHandler onIoDead_;
+  LinkSickHandler onLinkSick_;
 };
 
 }  // namespace bg::svc

@@ -38,6 +38,9 @@ ServiceNode::ServiceNode(rt::Cluster& cluster, ServiceNodeConfig cfg,
       [this](int node, sim::Cycle cycle) { onWarnStorm(node, cycle); });
   ras_.setIoDeadHandler(
       [this](int node, const kernel::RasEvent& e) { onIoNodeDead(node, e); });
+  ras_.setLinkSickHandler([this](int node, sim::Cycle cycle, bool dead) {
+    onLinkSick(node, cycle, dead);
+  });
 }
 
 ServiceNode::~ServiceNode() = default;
@@ -264,8 +267,11 @@ void ServiceNode::trySchedule() {
   std::vector<JobId> launched;
   for (std::size_t qi : policy_->select(ctx)) {
     JobRecord* jr = find(queue_[qi]);
+    // Healthy-preferred: link-sick nodes are a last resort (the avoid
+    // set is empty on fault-free streams, so schedules there are
+    // bit-identical to the plain allocator).
     const std::vector<int> nodes =
-        parts_.allocate(jr->desc.nodes, jr->desc.kernel);
+        parts_.allocate(jr->desc.nodes, jr->desc.kernel, linkSick_);
     if (static_cast<int>(nodes.size()) < jr->desc.nodes) continue;
     if (launch(*jr, nodes)) launched.push_back(jr->id);
   }
@@ -482,6 +488,168 @@ void ServiceNode::finishPreempt(JobRecord& jr, sim::Cycle now) {
   jr.pids.clear();
   // Back of the queue, exactly once, and no retry budget consumed:
   // preemption is the scheduler's fault, not the job's.
+  jr.state = JobState::kQueued;
+  queue_.push_back(jr.id);
+  accounting_.onQueued(jr.desc.account);
+}
+
+// --- torus hard-fault plane: checkpoint-then-migrate --------------------
+
+void ServiceNode::reportMigrateRas(kernel::RasEvent::Code code, JobId id) {
+  kernel::RasEvent e;
+  e.cycle = engine().now();
+  e.code = code;
+  e.severity = kernel::defaultRasSeverity(code);
+  e.detail = id;
+  ras_.reportLocal(e);
+}
+
+void ServiceNode::onLinkSick(int node, sim::Cycle cycle, bool dead) {
+  (void)cycle;
+  const sim::Cycle now = engine().now();
+  if (linkSick_.insert(node).second) {
+    note(dead ? "link_sick" : "link_storm_sick", parts_.jobOn(node), now,
+         {node});
+  }
+  if (parts_.state(node) != NodeLifecycle::kRunning) {
+    return;  // idle node: healthy-preferred allocation steers around it
+  }
+  const JobId victim = parts_.jobOn(node);
+  if (victim == 0) return;
+  JobRecord* jr = find(victim);
+  if (jr == nullptr || jr->state != JobState::kRunning) return;
+  if (pendingMigrates_.count(victim) != 0 ||
+      pendingCkpts_.count(victim) != 0) {
+    return;  // a window is already open for this job
+  }
+  bool can = cfg_.migrate.enabled && !jr->nodesHeld.empty();
+  if (can) {
+    for (int n : jr->nodesHeld) {
+      if (cluster_.kernelKindOn(n) != rt::KernelKind::kCnk) {
+        can = false;  // only CNK nodes can cut application images
+        break;
+      }
+    }
+  }
+  if (can) {
+    // Healthy capacity after the drain: link-healthy ready nodes now,
+    // plus the victim's own link-healthy nodes (they return to the
+    // pool when the post-migrate drain completes).
+    int healthy = 0;
+    for (int n = 0; n < parts_.size(); ++n) {
+      if (parts_.kernelOf(n) != jr->desc.kernel) continue;
+      if (linkSick_.count(n) != 0) continue;
+      const NodeLifecycle st = parts_.state(n);
+      if (st == NodeLifecycle::kReady ||
+          (st == NodeLifecycle::kRunning && parts_.jobOn(n) == victim)) {
+        ++healthy;
+      }
+    }
+    if (healthy < jr->desc.nodes) can = false;
+  }
+  if (!can) {
+    // Migration off, a non-CNK job, or no link-healthy capacity left:
+    // the job keeps running where it is. The fabric's deterministic
+    // route-around carries its traffic at a latency penalty; the
+    // metrics block reports the degradation.
+    ++degradedJobs_;
+    note("degraded_mode", victim, now, {node});
+    reportMigrateRas(kernel::RasEvent::Code::kCkptMigrateFallback, victim);
+    return;
+  }
+  beginMigrate(*jr, now);
+}
+
+void ServiceNode::beginMigrate(JobRecord& jr, sim::Cycle now) {
+  ++migrateRequests_;
+  note("migrate_req", jr.id, now, jr.nodesHeld);
+  reportMigrateRas(kernel::RasEvent::Code::kCkptMigrateBegin, jr.id);
+  const std::uint64_t token = ++ckptTokens_;
+  PendingCkpt& pm = pendingMigrates_[jr.id];
+  pm.remaining = static_cast<int>(jr.nodesHeld.size());
+  pm.failed = false;
+  pm.token = token;
+  const JobId id = jr.id;
+  // Same synchronous-refusal hazard as preemptJob: iterate a copy.
+  const std::vector<int> held = jr.nodesHeld;
+  for (int n : held) {
+    cluster_.cnkOn(n)->requestCheckpoint(
+        [alive = std::weak_ptr<bool>(alive_), this, id, token](bool ok) {
+          if (alive.expired()) return;
+          onMigrateAck(id, token, ok);
+        });
+  }
+  engine().scheduleAt(
+      now + cfg_.migrate.deadlineCycles,
+      guarded([this, id, token] { onMigrateDeadline(id, token); }));
+}
+
+void ServiceNode::onMigrateAck(JobId id, std::uint64_t token, bool ok) {
+  const auto it = pendingMigrates_.find(id);
+  if (it == pendingMigrates_.end() || it->second.token != token) return;
+  if (!ok) it->second.failed = true;
+  if (--it->second.remaining > 0) return;
+  const bool committed = !it->second.failed;
+  pendingMigrates_.erase(it);
+  JobRecord* jr = find(id);
+  if (jr == nullptr || jr->state != JobState::kRunning) return;
+  const sim::Cycle now = engine().now();
+  if (committed) {
+    ++migrateCommits_;
+    for (int n : jr->nodesHeld) {
+      if (auto* c = cluster_.cnkOn(n)) {
+        jr->ckptSeq = std::max(jr->ckptSeq, c->ckptSeqCommitted());
+      }
+    }
+    note("migrate_commit", id, now, jr->nodesHeld);
+    finishMigrate(*jr, now);
+  } else {
+    // A node refused or its commit failed: migrating now would lose
+    // work, so unlike a preemption window there is no kill — the job
+    // keeps running in degraded route-around mode.
+    ++migrateFallbacks_;
+    ++degradedJobs_;
+    note("migrate_fallback", id, now, jr->nodesHeld);
+    reportMigrateRas(kernel::RasEvent::Code::kCkptMigrateFallback, id);
+  }
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::onMigrateDeadline(JobId id, std::uint64_t token) {
+  const auto it = pendingMigrates_.find(id);
+  if (it == pendingMigrates_.end() || it->second.token != token) return;
+  pendingMigrates_.erase(it);  // late acks for this window become stale
+  ++migrateFallbacks_;
+  JobRecord* jr = find(id);
+  if (jr == nullptr || jr->state != JobState::kRunning) return;
+  const sim::Cycle now = engine().now();
+  ++degradedJobs_;
+  note("migrate_timeout", id, now, jr->nodesHeld);
+  reportMigrateRas(kernel::RasEvent::Code::kCkptMigrateFallback, id);
+  schedulePump();
+  checkpointWriteThrough();
+}
+
+void ServiceNode::finishMigrate(JobRecord& jr, sim::Cycle now) {
+  ++migrations_;
+  // Versus a scratch requeue the committed image preserves the whole
+  // attempt's progress: the relaunch restores it instead of
+  // recomputing it.
+  if (now >= jr.startCycle) migrateCyclesSaved_ += now - jr.startCycle;
+  note("migrate", jr.id, now, jr.nodesHeld);
+  reportMigrateRas(kernel::RasEvent::Code::kCkptMigrateDone, jr.id);
+  runningIds_.erase(
+      std::remove(runningIds_.begin(), runningIds_.end(), jr.id),
+      runningIds_.end());
+  drainHeldNodes(jr, now, -1);
+  chargeStopped(jr, now);
+  jr.nodesHeld.clear();
+  jr.pids.clear();
+  // Back of the queue with no retry budget consumed: the fault is the
+  // fabric's, not the job's. The relaunch allocates healthy-preferred
+  // nodes and boots into restore (ckptSeq > 0) under the remapped
+  // rank -> node assignment.
   jr.state = JobState::kQueued;
   queue_.push_back(jr.id);
   accounting_.onQueued(jr.desc.account);
@@ -763,6 +931,13 @@ SvcCheckpoint ServiceNode::buildCheckpoint() {
   ck.ckptCommits = ckptCommits_;
   ck.ckptFallbacks = ckptFallbacks_;
   ck.ckptResumes = ckptResumes_;
+  ck.migrateRequests = migrateRequests_;
+  ck.migrateCommits = migrateCommits_;
+  ck.migrateFallbacks = migrateFallbacks_;
+  ck.migrations = migrations_;
+  ck.degradedJobs = degradedJobs_;
+  ck.migrateCyclesSaved = migrateCyclesSaved_;
+  ck.sickNodes.assign(linkSick_.begin(), linkSick_.end());
   ck.firstSubmit = firstSubmit_;
   ck.lastEnd = lastEnd_;
   ck.pumpDue = pumpScheduled_ ? pumpDue_ : 0;
@@ -856,6 +1031,13 @@ bool ServiceNode::loadFrom(sim::ByteReader& r, CheckpointStore& store) {
   ckptCommits_ = ck.ckptCommits;
   ckptFallbacks_ = ck.ckptFallbacks;
   ckptResumes_ = ck.ckptResumes;
+  migrateRequests_ = ck.migrateRequests;
+  migrateCommits_ = ck.migrateCommits;
+  migrateFallbacks_ = ck.migrateFallbacks;
+  migrations_ = ck.migrations;
+  degradedJobs_ = ck.degradedJobs;
+  migrateCyclesSaved_ = ck.migrateCyclesSaved;
+  linkSick_ = std::set<int>(ck.sickNodes.begin(), ck.sickNodes.end());
   firstSubmit_ = ck.firstSubmit;
   lastEnd_ = ck.lastEnd;
   hash_.restore(ck.scheduleHash);
@@ -1063,6 +1245,22 @@ SvcMetrics ServiceNode::metrics() {
   m.ckptCommits = ckptCommits_;
   m.ckptFallbacks = ckptFallbacks_;
   m.ckptResumes = ckptResumes_;
+  m.migrateRequests = migrateRequests_;
+  m.migrateCommits = migrateCommits_;
+  m.migrateFallbacks = migrateFallbacks_;
+  m.migrations = migrations_;
+  m.degradedJobs = degradedJobs_;
+  m.migrateCyclesSaved = migrateCyclesSaved_;
+  m.linkSickNodes = linkSick_.size();
+  {
+    // Route-around accounting straight from the fabric: detours and
+    // retry charges are hardware counters, not control-plane state.
+    hw::TorusNet& t = cluster_.machine().torus();
+    m.linkDetours = t.detours();
+    m.linkDetourHops = t.detourHops();
+    m.linkUnroutable = t.unroutable();
+    m.linkCrcRetries = cluster_.machine().torusFaults().stats().crcRetries;
+  }
   if (accounting_.enabled()) {
     accounting_.decayTo(now);
     for (std::size_t i = 0; i < accounting_.numAccounts(); ++i) {

@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,20 @@ struct ServiceNodeConfig {
     bool onPreempt = false;
     sim::Cycle deadlineCycles = 400'000;
   } ckpt;
+  /// RAS-driven checkpoint-then-migrate: when the link-health
+  /// predictor declares a node link-sick (a dead link, or a CRC-retry
+  /// storm crossing ras.linkSickThreshold), the job running there is
+  /// asked to checkpoint and — if every node commits and healthy
+  /// capacity exists — requeued onto a link-healthy node set, where it
+  /// boots into restore. When the window fails or no healthy capacity
+  /// is left, the job keeps running where it is: the fabric's
+  /// deterministic route-around carries it at a latency penalty
+  /// (degraded mode). Off by default; arming it adds hash notes, so
+  /// pinned fault-free schedules stay bit-identical.
+  struct MigrateConfig {
+    bool enabled = false;
+    sim::Cycle deadlineCycles = 400'000;
+  } migrate;
   RasAggregatorConfig ras;
 };
 
@@ -187,6 +202,16 @@ class ServiceNode {
   std::uint64_t ckptCommits() const { return ckptCommits_; }
   std::uint64_t ckptFallbacks() const { return ckptFallbacks_; }
   std::uint64_t ckptResumes() const { return ckptResumes_; }
+  /// Torus hard-fault plane: checkpoint-then-migrate accounting plus
+  /// the link-sick node set the allocator steers around.
+  std::uint64_t migrateRequests() const { return migrateRequests_; }
+  std::uint64_t migrateCommits() const { return migrateCommits_; }
+  std::uint64_t migrateFallbacks() const { return migrateFallbacks_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t degradedJobs() const { return degradedJobs_; }
+  std::uint64_t migrateCyclesSaved() const { return migrateCyclesSaved_; }
+  bool linkSick(int node) const { return linkSick_.count(node) != 0; }
+  std::size_t linkSickCount() const { return linkSick_.size(); }
 
   SvcMetrics metrics();
   /// FNV digest over every scheduling decision (submit / launch /
@@ -240,6 +265,20 @@ class ServiceNode {
   void finishPreempt(JobRecord& jr, sim::Cycle now);
   void onCkptAck(JobId id, std::uint64_t token, bool ok);
   void onCkptDeadline(JobId id, std::uint64_t token);
+  /// Link-health escalation: the RAS predictor declared `node`
+  /// link-sick. Opens a checkpoint-then-migrate window for the job
+  /// running there when migration is armed and healthy capacity
+  /// exists; otherwise leaves the job running in degraded
+  /// route-around mode.
+  void onLinkSick(int node, sim::Cycle cycle, bool dead);
+  void beginMigrate(JobRecord& jr, sim::Cycle now);
+  void onMigrateAck(JobId id, std::uint64_t token, bool ok);
+  void onMigrateDeadline(JobId id, std::uint64_t token);
+  /// Commit succeeded: requeue the victim (no retry charge) so the
+  /// relaunch restores onto healthy-preferred nodes.
+  void finishMigrate(JobRecord& jr, sim::Cycle now);
+  /// Service-node-originated migration RAS event (node -1 stream).
+  void reportMigrateRas(kernel::RasEvent::Code code, JobId id);
   /// Accounting hook shared by every running-job-release path: charge
   /// decayed/lifetime usage for the attempt and drop running tallies.
   void chargeStopped(JobRecord& jr, sim::Cycle now);
@@ -311,6 +350,20 @@ class ServiceNode {
   std::uint64_t ckptCommits_ = 0;
   std::uint64_t ckptFallbacks_ = 0;
   std::uint64_t ckptResumes_ = 0;
+  /// Open checkpoint-then-migrate windows (same crash semantics as
+  /// pendingCkpts_: a control-plane crash mid-window loses only the
+  /// migration decision — the job keeps running and a later storm
+  /// re-triggers the predictor).
+  std::map<JobId, PendingCkpt> pendingMigrates_;
+  /// Nodes the link-health predictor declared link-sick. Persisted
+  /// (v6): allocation keeps preferring healthy nodes after a restart.
+  std::set<int> linkSick_;
+  std::uint64_t migrateRequests_ = 0;
+  std::uint64_t migrateCommits_ = 0;
+  std::uint64_t migrateFallbacks_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t degradedJobs_ = 0;
+  std::uint64_t migrateCyclesSaved_ = 0;
   /// Mean-time-to-requeue accounting: fatal RAS event raised (its
   /// logged cycle) -> victim job back on the queue (or failed out).
   std::uint64_t requeueLatencyTotal_ = 0;

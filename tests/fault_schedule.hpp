@@ -30,6 +30,19 @@
 //    node's kernel can't run on a dead core — so detection is the
 //    service node's heartbeat watchdog noticing the progress counter
 //    stopped (clusters armed with these need hangTimeoutCycles > 0).
+//  - kLinkDead:  fail-stop one directed torus link. The torus fires a
+//    kLinkDead RAS event on the link's source node and recomputes its
+//    deterministic detour table; the service node's link-health
+//    predictor reacts with checkpoint-then-migrate (when armed) or
+//    leaves the job in degraded route-around mode.
+//  - kLinkStorm: degrade one directed link (CRC retry storm) and log a
+//    burst of kLinkDegraded events on the source kernel — like
+//    kCeStorm, detection is independent of whether application traffic
+//    happens to cross the sick link inside the predictor's window.
+//  - kMigrateSvcCrash: control-plane crash aimed into an open
+//    checkpoint-then-migrate window. The window is deliberately not
+//    checkpointed: restart loses only the migration decision and a
+//    later storm re-triggers the predictor.
 //  - kCkptIoCrash / kCkptUe / kCkptSvcCrash: the application-ckpt
 //    torture trio. Mechanically these reuse the CIOD fail-stop, the
 //    uncorrectable-ECC latch, and the control-plane crash, but a
@@ -67,12 +80,17 @@ struct FaultEvent {
     kCkptIoCrash,
     kCkptUe,
     kCkptSvcCrash,
+    kLinkDead,
+    kLinkStorm,
+    kMigrateSvcCrash,
   };
   Kind kind = Kind::kNodeDeath;
   sim::Cycle atCycle = 0;
   int node = -1;              // target: node, or I/O index for kIoDeath
   sim::Cycle downCycles = 0;  // kSvcCrash outage length
-  int count = 0;              // kWarnStorm: warns in the burst
+  int count = 0;              // kWarnStorm/kCeStorm/kLinkStorm burst size
+  int dim = 0;                // kLinkDead/kLinkStorm: torus dimension
+  bool positive = true;       // kLinkDead/kLinkStorm: link direction
 };
 
 class FaultSchedule {
@@ -117,6 +135,21 @@ class FaultSchedule {
     events_.push_back({FaultEvent::Kind::kCkptSvcCrash, at, -1, down, 0});
     return *this;
   }
+  FaultSchedule& linkDeath(int node, int dim, bool positive, sim::Cycle at) {
+    events_.push_back(
+        {FaultEvent::Kind::kLinkDead, at, node, 0, 0, dim, positive});
+    return *this;
+  }
+  FaultSchedule& linkStorm(int node, int dim, bool positive, sim::Cycle at,
+                           int count) {
+    events_.push_back(
+        {FaultEvent::Kind::kLinkStorm, at, node, 0, count, dim, positive});
+    return *this;
+  }
+  FaultSchedule& migrateSvcCrash(sim::Cycle at, sim::Cycle down) {
+    events_.push_back({FaultEvent::Kind::kMigrateSvcCrash, at, -1, down, 0});
+    return *this;
+  }
 
   /// Seeded mixed schedule over [0, horizon): `crashes` control-plane
   /// outages, `deaths` node losses, `storms` warn bursts, `ioDeaths`
@@ -130,7 +163,9 @@ class FaultSchedule {
                               int ioNodes = 1, int memUes = 0,
                               int ceStorms = 0, int coreHangs = 0,
                               int ckptIoCrashes = 0, int ckptUes = 0,
-                              int ckptSvcCrashes = 0) {
+                              int ckptSvcCrashes = 0, int linkDeaths = 0,
+                              int linkStorms = 0,
+                              int migrateSvcCrashes = 0) {
     sim::Rng rng(seed, "fault-schedule");
     FaultSchedule fs;
     for (int i = 0; i < crashes; ++i) {
@@ -182,6 +217,25 @@ class FaultSchedule {
     for (int i = 0; i < ckptSvcCrashes; ++i) {
       const sim::Cycle at = 1 + rng.nextBelow(horizon);
       fs.ckptSvcCrash(at, 50'000 + rng.nextBelow(400'000));
+    }
+    for (int i = 0; i < linkDeaths; ++i) {
+      const int node = static_cast<int>(
+          rng.nextBelow(static_cast<std::uint64_t>(nodes)));
+      const int dim = static_cast<int>(rng.nextBelow(3));
+      const bool positive = rng.nextBelow(2) == 1;
+      fs.linkDeath(node, dim, positive, 1 + rng.nextBelow(horizon));
+    }
+    for (int i = 0; i < linkStorms; ++i) {
+      const int node = static_cast<int>(
+          rng.nextBelow(static_cast<std::uint64_t>(nodes)));
+      const int dim = static_cast<int>(rng.nextBelow(3));
+      const bool positive = rng.nextBelow(2) == 1;
+      fs.linkStorm(node, dim, positive, 1 + rng.nextBelow(horizon),
+                   6 + static_cast<int>(rng.nextBelow(6)));
+    }
+    for (int i = 0; i < migrateSvcCrashes; ++i) {
+      const sim::Cycle at = 1 + rng.nextBelow(horizon);
+      fs.migrateSvcCrash(at, 50'000 + rng.nextBelow(400'000));
     }
     return fs;
   }
@@ -260,6 +314,40 @@ class FaultSchedule {
           });
           break;
         case FaultEvent::Kind::kCkptSvcCrash:
+          host.scheduleCrashRestart(f.atCycle, f.downCycles);
+          break;
+        case FaultEvent::Kind::kLinkDead:
+          // killLink fires the kLinkDead RAS event on the source
+          // node's kernel and invalidates the detour cache; a link
+          // already dead (or a dimension of extent 1) is left alone.
+          eng.scheduleAt(f.atCycle, [&cluster, &host, node = f.node,
+                                     dim = f.dim, pos = f.positive] {
+            cluster.machine().torus().killLink(node, dim, pos);
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kLinkStorm:
+          // Degrade the link (3 CRC retry rounds per traversal) and
+          // log a burst of kLinkDegraded events on the source kernel —
+          // like kCeStorm, the predictor's window sees the storm even
+          // when no application traffic crosses the sick link.
+          eng.scheduleAt(f.atCycle, [&cluster, &host, node = f.node,
+                                     dim = f.dim, pos = f.positive,
+                                     n = f.count] {
+            if (cluster.machine().torus().degradeLink(node, dim, pos, 3)) {
+              // degradeLink logged the first kLinkDegraded; the rest
+              // of the burst is forged directly.
+              for (int i = 1; i < n; ++i) {
+                cluster.kernelOn(node).logRas(
+                    kernel::RasEvent::Code::kLinkDegraded, 0, 0,
+                    (static_cast<std::uint64_t>(dim) << 1) |
+                        (pos ? 1u : 0u));
+              }
+            }
+            if (host.alive()) host.node().poke();
+          });
+          break;
+        case FaultEvent::Kind::kMigrateSvcCrash:
           host.scheduleCrashRestart(f.atCycle, f.downCycles);
           break;
       }

@@ -172,6 +172,54 @@ TEST(PersistEdges, SvcCheckpointV5RoundTripsCkptFields) {
   EXPECT_EQ(dec.jobs[0].rec.ckptSeq, 5u);
 }
 
+TEST(PersistEdges, SvcCheckpointV5ImageDecodesWithMigrateFieldsZero) {
+  // A v5 image (written by the pre-migration control plane) must decode
+  // on the v6 code with the migration block at its safe default: no
+  // migrations known and an empty link-sick set, so allocation after
+  // the upgrade is bit-identical to plain allocate().
+  svc::SvcCheckpoint src = sampleCheckpoint();
+  src.migrateRequests = 2;
+  src.migrateCommits = 2;
+  src.migrations = 1;
+  src.sickNodes = {3, 5};
+  sim::ByteWriter w;
+  src.encode(w, 5);
+  sim::ByteReader r(w.bytes());
+  svc::SvcCheckpoint dec;
+  ASSERT_TRUE(dec.decode(r));
+  EXPECT_EQ(dec.ckptResumes, 2u) << "v5 payload must still round-trip";
+  EXPECT_EQ(dec.migrateRequests, 0u);
+  EXPECT_EQ(dec.migrateCommits, 0u);
+  EXPECT_EQ(dec.migrateFallbacks, 0u);
+  EXPECT_EQ(dec.migrations, 0u);
+  EXPECT_EQ(dec.degradedJobs, 0u);
+  EXPECT_EQ(dec.migrateCyclesSaved, 0u);
+  EXPECT_TRUE(dec.sickNodes.empty());
+}
+
+TEST(PersistEdges, SvcCheckpointV6RoundTripsMigrateFields) {
+  svc::SvcCheckpoint src = sampleCheckpoint();
+  src.migrateRequests = 4;
+  src.migrateCommits = 3;
+  src.migrateFallbacks = 1;
+  src.migrations = 3;
+  src.degradedJobs = 2;
+  src.migrateCyclesSaved = 987'654;
+  src.sickNodes = {1, 6};
+  sim::ByteWriter w;
+  src.encode(w);
+  sim::ByteReader r(w.bytes());
+  svc::SvcCheckpoint dec;
+  ASSERT_TRUE(dec.decode(r));
+  EXPECT_EQ(dec.migrateRequests, 4u);
+  EXPECT_EQ(dec.migrateCommits, 3u);
+  EXPECT_EQ(dec.migrateFallbacks, 1u);
+  EXPECT_EQ(dec.migrations, 3u);
+  EXPECT_EQ(dec.degradedJobs, 2u);
+  EXPECT_EQ(dec.migrateCyclesSaved, 987'654u);
+  EXPECT_EQ(dec.sickNodes, (std::vector<int>{1, 6}));
+}
+
 // ---------------------------------------------------------------------
 // Torn application checkpoint images
 // ---------------------------------------------------------------------
